@@ -1,0 +1,86 @@
+// Command experiments regenerates the tables of the paper's evaluation
+// section (Tables 5–15).
+//
+// Usage:
+//
+//	experiments -table 7            # one table at quick scale
+//	experiments -all                # all tables at quick scale
+//	experiments -table 13 -full     # paper-scale protocol (slow)
+//	experiments -table carvalho     # the Carvalho et al. reference rows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"genlink/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		table = flag.String("table", "", "table to regenerate: 5..15 or 'carvalho'")
+		all   = flag.Bool("all", false, "regenerate every table")
+		full  = flag.Bool("full", false, "use the paper-scale protocol (population 500, 50 iterations, 10 runs; slow)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		runs  = flag.Int("runs", 0, "override the number of cross-validation runs")
+	)
+	flag.Parse()
+
+	scale := experiments.Quick()
+	if *full {
+		scale = experiments.Paper()
+	}
+	scale.Seed = *seed
+	if *runs > 0 {
+		scale.Runs = *runs
+	}
+
+	if *all {
+		for _, t := range []string{"5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "carvalho"} {
+			run(t, scale)
+		}
+		return
+	}
+	if *table == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	run(*table, scale)
+}
+
+func run(table string, scale experiments.Scale) {
+	fmt.Printf("──────────────────────────────────────────────────────\n")
+	switch table {
+	case "5":
+		fmt.Print(experiments.Table5(scale.Seed))
+	case "6":
+		fmt.Print(experiments.Table6(scale.Seed))
+	case "13":
+		fmt.Print(experiments.FormatTable13(experiments.Table13(scale)))
+	case "14":
+		fmt.Print(experiments.FormatTable14(experiments.Table14(scale)))
+	case "15":
+		fmt.Print(experiments.FormatTable15(experiments.Table15(scale)))
+	case "carvalho":
+		fmt.Println("Carvalho et al. baseline under the same protocol:")
+		for _, name := range []string{"Cora", "Restaurant"} {
+			ds := experiments.Dataset(name, scale.Seed)
+			res := experiments.CarvalhoBaseline(ds, scale)
+			fmt.Printf("%-12s Train F1 %.3f (%.3f)   Val F1 %.3f (%.3f)\n",
+				name, res.TrainF1, res.TrainStd, res.ValF1, res.ValStd)
+		}
+	default:
+		n, err := strconv.Atoi(table)
+		if err != nil || n < 7 || n > 12 {
+			log.Fatalf("unknown table %q (valid: 5..15, carvalho)", table)
+		}
+		fmt.Print(experiments.LearningCurveTable(n, scale))
+	}
+	fmt.Println()
+}

@@ -1,0 +1,126 @@
+// Command activelearning demonstrates the query-by-committee active
+// learning extension (reference [21] of the paper): instead of labeling
+// hundreds of reference links up front, the expert answers a handful of
+// questions per round — a mix of the pairs the current rule committee
+// disagrees about most and random exploration — and the learner reaches
+// high accuracy with a fraction of the labels.
+//
+// The example uses the DBpediaDrugBank dataset with its ground truth as a
+// simulated oracle. It reports three numbers: the actively learned rule,
+// a random-sampling baseline with the same label budget (a strong
+// baseline when the matching signal is global, as it is here), and the
+// fully supervised ceiling with every pool pair labeled.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"genlink/internal/active"
+	"genlink/internal/entity"
+	"genlink/internal/evalx"
+	"genlink/internal/genlink"
+	"genlink/pkg/genlinkapi"
+)
+
+func main() {
+	// DBpediaDrugBank: matching needs several sparse identifiers, so which
+	// pairs get labeled matters — the regime where targeted queries help.
+	ds := genlinkapi.Dataset("DBpediaDrugBank", 1)
+	if ds == nil {
+		log.Fatal("DBpediaDrugBank dataset unavailable")
+	}
+
+	// Ground truth oracle over a 200-pair slice of the reference links.
+	truth := make(map[[2]string]bool)
+	var pool []entity.Pair
+	for _, p := range ds.Refs.Positive[:100] {
+		truth[[2]string{p.A.ID, p.B.ID}] = true
+		pool = append(pool, p)
+	}
+	pool = append(pool, ds.Refs.Negative[:100]...)
+	eval := &entity.ReferenceLinks{
+		Positive: ds.Refs.Positive[100:300],
+		Negative: ds.Refs.Negative[100:300],
+	}
+	oracle := func(a, b *entity.Entity) bool {
+		return truth[[2]string{a.ID, b.ID}]
+	}
+
+	// Seed: one positive, one negative.
+	seed := &entity.ReferenceLinks{
+		Positive: ds.Refs.Positive[:1],
+		Negative: ds.Refs.Negative[:1],
+	}
+	remaining := pool[1:]
+
+	cfg := active.DefaultConfig()
+	cfg.Learner.PopulationSize = 200
+	cfg.Learner.MaxIterations = 20
+	cfg.QueriesPerRound = 5
+	cfg.Rounds = 8
+	cfg.Seed = 17
+
+	res, err := active.Learn(cfg, remaining, seed, oracle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Active learning: %d oracle queries over %d rounds\n", res.QueriesAsked, cfg.Rounds)
+	fmt.Println("Per-round training F1:", formatFloats(res.History))
+	activeConf := evalx.Evaluate(res.Best, eval)
+	fmt.Printf("Final rule F1 over %d held-out reference links: %.3f\n\n", eval.Len(), activeConf.FMeasure())
+	fmt.Println("Final rule:")
+	fmt.Print(res.Best.Render())
+
+	// Baseline: same number of labels, chosen uniformly at random.
+	rng := rand.New(rand.NewSource(17))
+	random := seed.Clone()
+	perm := rng.Perm(len(remaining))
+	for _, idx := range perm[:res.QueriesAsked] {
+		p := remaining[idx]
+		if oracle(p.A, p.B) {
+			random.Positive = append(random.Positive, p)
+		} else {
+			random.Negative = append(random.Negative, p)
+		}
+	}
+	lcfg := cfg.Learner
+	lcfg.Seed = 17
+	baseline, err := genlink.NewLearner(lcfg).Learn(random)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseConf := evalx.Evaluate(baseline.Best, eval)
+	fmt.Printf("\nRandom-sampling baseline with the same %d labels: F1 %.3f\n",
+		res.QueriesAsked, baseConf.FMeasure())
+
+	// Fully supervised ceiling: every pool pair labeled.
+	full := seed.Clone()
+	for _, p := range remaining {
+		if oracle(p.A, p.B) {
+			full.Positive = append(full.Positive, p)
+		} else {
+			full.Negative = append(full.Negative, p)
+		}
+	}
+	ceiling, err := genlink.NewLearner(lcfg).Learn(full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ceilConf := evalx.Evaluate(ceiling.Best, eval)
+	fmt.Printf("Fully supervised ceiling with %d labels: F1 %.3f\n", full.Len(), ceilConf.FMeasure())
+	fmt.Printf("\nLabel efficiency: %d queries recover %.0f%% of the %d-label ceiling.\n",
+		res.QueriesAsked, 100*activeConf.FMeasure()/ceilConf.FMeasure(), full.Len())
+}
+
+func formatFloats(fs []float64) string {
+	out := ""
+	for i, f := range fs {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.3f", f)
+	}
+	return out
+}

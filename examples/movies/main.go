@@ -1,0 +1,65 @@
+// Command movies runs GenLink on the LinkedMDB scenario of the paper
+// (Section 6.2): interlinking movies between two sources where different
+// movies may share the same title, so a label-only rule fails on the
+// curated corner cases and the learner must combine title and release
+// date — just like the original human-written rule.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"genlink/pkg/genlinkapi"
+)
+
+func main() {
+	ds := genlinkapi.Dataset("LinkedMDB", 1)
+	if ds == nil {
+		log.Fatal("LinkedMDB dataset unavailable")
+	}
+	st := ds.ComputeStats()
+	fmt.Printf("LinkedMDB: %d × %d entities, %d positive / %d negative reference links\n\n",
+		st.EntitiesA, st.EntitiesB, st.Positive, st.Negative)
+
+	// Train on half of the links, validate on the other half.
+	half := len(ds.Refs.Positive) / 2
+	train := &genlinkapi.ReferenceLinks{
+		Positive: ds.Refs.Positive[:half],
+		Negative: ds.Refs.Negative[:half],
+	}
+	val := &genlinkapi.ReferenceLinks{
+		Positive: ds.Refs.Positive[half:],
+		Negative: ds.Refs.Negative[half:],
+	}
+
+	cfg := genlinkapi.DefaultConfig()
+	cfg.PopulationSize = 150
+	cfg.MaxIterations = 20
+	cfg.Seed = 11
+	result, err := genlinkapi.LearnWithValidation(cfg, train, val)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Learned rule (compare with the paper's observation that the")
+	fmt.Println("learner finds title+date, matching the human rule):")
+	fmt.Print(result.Best.Render())
+	fmt.Printf("\nTrain F-measure: %.3f   Validation F-measure: %.3f\n",
+		result.BestTrainF1, result.BestValF1)
+
+	// Demonstrate the corner case: same title, different year.
+	fmt.Println("\nCorner-case probes (same title, different release year):")
+	probes := 0
+	for _, n := range ds.Refs.Negative {
+		ta, tb := n.A.Values("movieTitle"), n.B.Values("dbpTitle")
+		if len(ta) > 0 && len(tb) > 0 && ta[0] == tb[0] {
+			score := result.Best.Evaluate(n.A, n.B)
+			fmt.Printf("  %q vs %q → score %.2f (correctly below 0.5: %v)\n",
+				ta[0], tb[0], score, score < 0.5)
+			probes++
+			if probes == 3 {
+				break
+			}
+		}
+	}
+}

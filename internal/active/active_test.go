@@ -1,0 +1,193 @@
+package active
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"genlink/internal/entity"
+	"genlink/internal/genlink"
+	"genlink/internal/rule"
+	"genlink/internal/similarity"
+)
+
+// activeTask builds a pool of candidate pairs with ground truth: matching
+// pairs share a lowercased name, non-matching pairs do not.
+func activeTask(n int, seed int64) (pool []entity.Pair, truth map[entity.Pair]bool, seedLinks *entity.ReferenceLinks) {
+	rng := rand.New(rand.NewSource(seed))
+	truth = make(map[entity.Pair]bool)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("item-%03d", i)
+		a := entity.New(fmt.Sprint("a", i))
+		a.Add("name", strings.ToUpper(name))
+		a.Add("code", fmt.Sprint(i))
+		match := rng.Float64() < 0.5
+		b := entity.New(fmt.Sprint("b", i))
+		if match {
+			b.Add("label", name)
+			b.Add("ref", fmt.Sprint(i))
+		} else {
+			b.Add("label", fmt.Sprintf("other-%03d", i+1000))
+			b.Add("ref", fmt.Sprint(i+1000))
+		}
+		p := entity.Pair{A: a, B: b}
+		truth[p] = match
+		pool = append(pool, p)
+	}
+	// Bootstrap with the first matching and first non-matching pair.
+	seedLinks = &entity.ReferenceLinks{}
+	for _, p := range pool {
+		if truth[p] && len(seedLinks.Positive) == 0 {
+			seedLinks.Positive = append(seedLinks.Positive, p)
+		}
+		if !truth[p] && len(seedLinks.Negative) == 0 {
+			seedLinks.Negative = append(seedLinks.Negative, p)
+		}
+	}
+	return pool, truth, seedLinks
+}
+
+func smallActiveConfig(seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.Learner.PopulationSize = 40
+	cfg.Learner.MaxIterations = 5
+	cfg.Learner.Workers = 2
+	cfg.QueriesPerRound = 4
+	cfg.Rounds = 4
+	cfg.Seed = seed
+	return cfg
+}
+
+func TestActiveLearningImproves(t *testing.T) {
+	pool, truth, seedLinks := activeTask(60, 1)
+	oracle := func(a, b *entity.Entity) bool {
+		for p, m := range truth {
+			if p.A == a && p.B == b {
+				return m
+			}
+		}
+		t.Fatal("oracle asked about unknown pair")
+		return false
+	}
+	res, err := Learn(smallActiveConfig(3), pool, seedLinks, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no rule learned")
+	}
+	if res.QueriesAsked != 16 { // 4 rounds × 4 queries
+		t.Fatalf("queries asked = %d, want 16", res.QueriesAsked)
+	}
+	if res.Labeled.Len() != seedLinks.Len()+16 {
+		t.Fatalf("labeled set = %d links", res.Labeled.Len())
+	}
+	// The final rule must classify the whole pool well despite having seen
+	// only a fraction of it.
+	correct := 0
+	for p, m := range truth {
+		if res.Best.Matches(p.A, p.B) == m {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(truth)); acc < 0.9 {
+		t.Fatalf("pool accuracy = %.2f after active learning\nrule:\n%s", acc, res.Best.Render())
+	}
+}
+
+func TestActiveLearningInputValidation(t *testing.T) {
+	pool, _, seedLinks := activeTask(10, 2)
+	if _, err := Learn(smallActiveConfig(1), pool, seedLinks, nil); err == nil {
+		t.Fatal("nil oracle should error")
+	}
+	if _, err := Learn(smallActiveConfig(1), pool, nil, func(a, b *entity.Entity) bool { return true }); err == nil {
+		t.Fatal("nil seed links should error")
+	}
+	onlyPos := &entity.ReferenceLinks{Positive: seedLinks.Positive}
+	if _, err := Learn(smallActiveConfig(1), pool, onlyPos, func(a, b *entity.Entity) bool { return true }); err == nil {
+		t.Fatal("seed without negatives should error")
+	}
+}
+
+func TestActiveLearningEmptyPool(t *testing.T) {
+	_, _, seedLinks := activeTask(10, 3)
+	res, err := Learn(smallActiveConfig(1), nil, seedLinks, func(a, b *entity.Entity) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueriesAsked != 0 {
+		t.Fatal("no queries possible with empty pool")
+	}
+	if res.Best == nil {
+		t.Fatal("should still learn from the seed links")
+	}
+}
+
+func TestDisagreement(t *testing.T) {
+	mkRule := func(threshold float64) *rule.Rule {
+		return rule.New(rule.NewComparison(
+			rule.NewProperty("p"), rule.NewProperty("p"),
+			similarity.Levenshtein(), threshold))
+	}
+	a := entity.New("a")
+	a.Add("p", "xx")
+	b := entity.New("b")
+	b.Add("p", "xy") // distance 1
+	agree := []*rule.Rule{mkRule(10), mkRule(10)}
+	if got := Disagreement(agree, a, b); got != 0 {
+		t.Fatalf("agreeing committee disagreement = %v", got)
+	}
+	split := []*rule.Rule{mkRule(10), mkRule(0.5)} // second rejects d=1
+	if got := Disagreement(split, a, b); got != 1 {
+		t.Fatalf("split committee disagreement = %v, want 1", got)
+	}
+	if Disagreement(nil, a, b) != 0 {
+		t.Fatal("empty committee should have zero disagreement")
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.QueriesPerRound <= 0 || cfg.Rounds <= 0 || cfg.CommitteeSize <= 0 {
+		t.Fatal("defaults must be positive")
+	}
+}
+
+// The committee must be usable straight from a learner result.
+func TestCommitteeFromLearner(t *testing.T) {
+	pool, truth, seedLinks := activeTask(30, 4)
+	_ = pool
+	// Label everything to train one committee.
+	refs := seedLinks.Clone()
+	for p, m := range truth {
+		if m {
+			refs.Positive = append(refs.Positive, p)
+		} else {
+			refs.Negative = append(refs.Negative, p)
+		}
+	}
+	cfg := genlink.DefaultConfig()
+	cfg.PopulationSize = 40
+	cfg.MaxIterations = 4
+	cfg.Seed = 9
+	res, err := genlink.NewLearner(cfg).Learn(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TopRules) == 0 {
+		t.Fatal("learner returned no committee rules")
+	}
+	if res.TopRules[0].Compact() != res.Best.Compact() {
+		t.Fatal("first committee rule should be the best rule")
+	}
+	// All committee rules are distinct.
+	seen := make(map[string]bool)
+	for _, r := range res.TopRules {
+		key := r.Compact()
+		if seen[key] {
+			t.Fatal("duplicate committee rule")
+		}
+		seen[key] = true
+	}
+}

@@ -1,0 +1,233 @@
+package carvalho
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"genlink/internal/entity"
+	"genlink/internal/similarity"
+)
+
+func TestEvidenceValue(t *testing.T) {
+	a := entity.New("a")
+	a.Add("name", "berlin")
+	b := entity.New("b")
+	b.Add("name", "berlin")
+	ev := Evidence{AttrA: "name", AttrB: "name", Measure: similarity.NormalizedLevenshtein(), Bounded: true}
+	if got := ev.Value(a, b); got != 1 {
+		t.Fatalf("identical evidence = %v, want 1", got)
+	}
+	c := entity.New("c") // missing property → 0
+	if got := ev.Value(a, c); got != 0 {
+		t.Fatalf("missing evidence = %v, want 0", got)
+	}
+}
+
+func TestEvidenceUnbounded(t *testing.T) {
+	a := entity.New("a")
+	a.Add("v", "10")
+	b := entity.New("b")
+	b.Add("v", "13")
+	ev := Evidence{AttrA: "v", AttrB: "v", Measure: similarity.Numeric()}
+	if got := ev.Value(a, b); math.Abs(got-0.25) > 1e-12 { // 1/(1+3)
+		t.Fatalf("numeric evidence = %v, want 0.25", got)
+	}
+}
+
+func TestNodeEval(t *testing.T) {
+	ev := []float64{0.5, 1.0}
+	e0 := &Node{Op: "evidence", EvidenceIdx: 0}
+	e1 := &Node{Op: "evidence", EvidenceIdx: 1}
+	c2 := &Node{Op: "const", Const: 2}
+	cases := []struct {
+		node *Node
+		want float64
+	}{
+		{&Node{Op: "+", Left: e0, Right: e1}, 1.5},
+		{&Node{Op: "-", Left: e1, Right: e0}, 0.5},
+		{&Node{Op: "*", Left: e0, Right: c2}, 1.0},
+		{&Node{Op: "/", Left: e1, Right: c2}, 0.5},
+		{&Node{Op: "/", Left: e1, Right: &Node{Op: "const", Const: 0}}, 1}, // protected
+		{&Node{Op: "pow", Left: c2, Right: c2}, 4},
+		{e0, 0.5},
+		{c2, 2},
+		{&Node{Op: "evidence", EvidenceIdx: 99}, 0}, // out of range
+		{&Node{Op: "??"}, 0},
+	}
+	for i, c := range cases {
+		if got := c.node.Eval(ev); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: Eval = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestEvalClamping(t *testing.T) {
+	big := &Node{Op: "pow", Left: &Node{Op: "const", Const: 1e9}, Right: &Node{Op: "const", Const: 10}}
+	v := big.Eval(nil)
+	if math.IsInf(v, 0) || math.IsNaN(v) || v > 1e9 {
+		t.Fatalf("Eval not clamped: %v", v)
+	}
+}
+
+func TestCloneAndSize(t *testing.T) {
+	tree := &Node{Op: "+",
+		Left:  &Node{Op: "evidence", EvidenceIdx: 0},
+		Right: &Node{Op: "const", Const: 1}}
+	c := tree.Clone()
+	c.Left.EvidenceIdx = 5
+	if tree.Left.EvidenceIdx == 5 {
+		t.Fatal("Clone shares nodes")
+	}
+	if tree.Size() != 3 || tree.Depth() != 2 {
+		t.Fatalf("Size/Depth = %d/%d", tree.Size(), tree.Depth())
+	}
+	if got := tree.String(); got != "(E0 + 1)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestRandomTreeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		tr := randomTree(rng, 4, 5)
+		if tr.Depth() > 5 {
+			t.Fatalf("random tree depth %d exceeds limit", tr.Depth())
+		}
+		// Must evaluate without panic.
+		tr.Eval([]float64{0.1, 0.2, 0.3, 0.4})
+	}
+}
+
+func TestSubtreeCrossoverPreservesParents(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomTree(rng, 3, 4)
+	b := randomTree(rng, 3, 4)
+	sa, sb := a.String(), b.String()
+	child := subtreeCrossover(rng, a, b)
+	if a.String() != sa || b.String() != sb {
+		t.Fatal("crossover mutated a parent")
+	}
+	child.Eval([]float64{0.5, 0.5, 0.5})
+}
+
+func TestMutatePreservesParent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomTree(rng, 3, 4)
+	sa := a.String()
+	mutate(rng, a, 3, 4)
+	if a.String() != sa {
+		t.Fatal("mutate changed the parent")
+	}
+}
+
+func TestBuildEvidence(t *testing.T) {
+	pairs := []PropertyPair{
+		{A: "name", B: "label", Measure: "levenshtein"},
+		{A: "name", B: "label", Measure: "jaccard"}, // duplicate attr pair
+		{A: "coord", B: "point", Measure: "geographic"},
+		{A: "date", B: "released", Measure: "date"},
+		{A: "pop", B: "population", Measure: "numeric"},
+	}
+	ev := BuildEvidence(pairs)
+	// 4 distinct attr pairs × 3 string measures + 3 typed extras = 15.
+	if len(ev) != 15 {
+		t.Fatalf("evidence count = %d, want 15", len(ev))
+	}
+}
+
+// dedupTask builds a toy dedup problem solvable by a single evidence leaf.
+func dedupTask(n int) *entity.ReferenceLinks {
+	refs := &entity.ReferenceLinks{}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("record-%03d", i)
+		a := entity.New("a" + name)
+		a.Add("name", name)
+		b := entity.New("b" + name)
+		b.Add("name", strings.ToUpper(name))
+		refs.Positive = append(refs.Positive, entity.Pair{A: a, B: b})
+	}
+	refs.Negative = entity.GenerateNegatives(refs.Positive)
+	return refs
+}
+
+func TestLearnerSolvesToyDedup(t *testing.T) {
+	refs := dedupTask(24)
+	ev := BuildEvidence([]PropertyPair{{A: "name", B: "name", Measure: "levenshtein"}})
+	cfg := DefaultConfig()
+	cfg.PopulationSize = 60
+	cfg.MaxIterations = 15
+	cfg.Seed = 5
+	cfg.Workers = 2
+	res, err := NewLearner(cfg, ev).Learn(refs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestTrainF1 < 0.9 {
+		t.Fatalf("baseline train F1 = %v on trivially learnable task\ntree: %s",
+			res.BestTrainF1, res.Best.Tree)
+	}
+}
+
+func TestLearnerValidation(t *testing.T) {
+	refs := dedupTask(40)
+	train := &entity.ReferenceLinks{Positive: refs.Positive[:20], Negative: refs.Negative[:20]}
+	val := &entity.ReferenceLinks{Positive: refs.Positive[20:], Negative: refs.Negative[20:]}
+	ev := BuildEvidence([]PropertyPair{{A: "name", B: "name"}})
+	cfg := DefaultConfig()
+	cfg.PopulationSize = 60
+	cfg.MaxIterations = 10
+	cfg.Seed = 6
+	res, err := NewLearner(cfg, ev).Learn(train, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestValF1 <= 0 {
+		t.Fatalf("validation F1 = %v", res.BestValF1)
+	}
+}
+
+func TestLearnerErrors(t *testing.T) {
+	if _, err := NewLearner(DefaultConfig(), nil).Learn(dedupTask(4), nil); err == nil {
+		t.Fatal("no evidence should error")
+	}
+	ev := BuildEvidence([]PropertyPair{{A: "x", B: "x"}})
+	if _, err := NewLearner(DefaultConfig(), ev).Learn(nil, nil); err == nil {
+		t.Fatal("nil links should error")
+	}
+	if _, err := NewLearner(DefaultConfig(), ev).Learn(&entity.ReferenceLinks{}, nil); err == nil {
+		t.Fatal("empty links should error")
+	}
+}
+
+func TestClassifierEvaluate(t *testing.T) {
+	refs := dedupTask(10)
+	ev := BuildEvidence([]PropertyPair{{A: "name", B: "name"}})
+	// Hand-built classifier: 2 × jaro-similarity ≥ 1 ⟺ sim ≥ 0.5.
+	clf := &Classifier{
+		Tree: &Node{Op: "*",
+			Left:  &Node{Op: "const", Const: 2},
+			Right: &Node{Op: "evidence", EvidenceIdx: 2}},
+		Evidence: ev,
+	}
+	conf := clf.Evaluate(refs)
+	if conf.TP+conf.FN != len(refs.Positive) {
+		t.Fatal("confusion does not cover all positives")
+	}
+}
+
+// Property: random trees always evaluate to finite clamped values.
+func TestEvalFiniteProperty(t *testing.T) {
+	f := func(seed int64, a, b float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTree(rng, 2, 6)
+		v := tr.Eval([]float64{math.Abs(a), math.Abs(b)})
+		return !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) <= 1e9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

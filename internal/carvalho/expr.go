@@ -1,0 +1,258 @@
+// Package carvalho reimplements the genetic-programming record
+// deduplication approach of de Carvalho, Laender, Gonçalves & da Silva
+// (IEEE TKDE 24(3), 2012) — the state-of-the-art baseline GenLink is
+// compared against in Tables 7 and 8 of the paper.
+//
+// Their representation combines a presupplied set of evidence leaves
+// ⟨attribute, similarity function⟩ with arithmetic function nodes
+// (+, −, ×, protected ÷, power) and random constants. A pair of records is
+// classified as a replica when the evaluated tree value reaches a fixed
+// decision boundary. Unlike GenLink, the representation cannot express data
+// transformations and uses plain subtree crossover.
+package carvalho
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"genlink/internal/entity"
+	"genlink/internal/similarity"
+)
+
+// Evidence is one presupplied ⟨attribute pair, similarity function⟩ leaf.
+// Its value for an entity pair is a similarity in [0,1].
+type Evidence struct {
+	// AttrA and AttrB name the compared properties in each source.
+	AttrA, AttrB string
+	// Measure is a distance measure whose value is mapped to a
+	// similarity: sim = 1/(1+d) for unbounded measures, 1−d for
+	// [0,1]-bounded ones.
+	Measure similarity.Measure
+	// Bounded marks measures whose distance already lies in [0,1].
+	Bounded bool
+}
+
+// Value computes the evidence similarity for a pair.
+func (ev Evidence) Value(a, b *entity.Entity) float64 {
+	d := ev.Measure.Distance(a.Values(ev.AttrA), b.Values(ev.AttrB))
+	if math.IsInf(d, 1) || math.IsNaN(d) {
+		return 0
+	}
+	if ev.Bounded {
+		if d > 1 {
+			d = 1
+		}
+		return 1 - d
+	}
+	return 1 / (1 + d)
+}
+
+// Node is one node of the arithmetic genome tree.
+type Node struct {
+	// Op is one of "+", "-", "*", "/", "pow" for internal nodes,
+	// "evidence" for evidence leaves and "const" for constant leaves.
+	Op string
+	// Left and Right are the children of internal nodes.
+	Left, Right *Node
+	// EvidenceIdx selects an evidence leaf.
+	EvidenceIdx int
+	// Const holds the value of constant leaves.
+	Const float64
+}
+
+// Eval computes the tree value over the evidence vector. Overflow and NaN
+// are clamped so fitness stays well defined.
+func (n *Node) Eval(ev []float64) float64 {
+	v := n.eval(ev)
+	if math.IsNaN(v) {
+		return 0
+	}
+	const limit = 1e9
+	if v > limit {
+		return limit
+	}
+	if v < -limit {
+		return -limit
+	}
+	return v
+}
+
+func (n *Node) eval(ev []float64) float64 {
+	switch n.Op {
+	case "evidence":
+		if n.EvidenceIdx >= 0 && n.EvidenceIdx < len(ev) {
+			return ev[n.EvidenceIdx]
+		}
+		return 0
+	case "const":
+		return n.Const
+	case "+":
+		return n.Left.eval(ev) + n.Right.eval(ev)
+	case "-":
+		return n.Left.eval(ev) - n.Right.eval(ev)
+	case "*":
+		return n.Left.eval(ev) * n.Right.eval(ev)
+	case "/":
+		num, den := n.Left.eval(ev), n.Right.eval(ev)
+		if math.Abs(den) < 1e-9 {
+			return 1 // protected division
+		}
+		return num / den
+	case "pow":
+		base, exp := n.Left.eval(ev), n.Right.eval(ev)
+		// Protected power: |base|^clamped-exponent.
+		if exp > 10 {
+			exp = 10
+		}
+		if exp < -10 {
+			exp = -10
+		}
+		v := math.Pow(math.Abs(base), exp)
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			return 1
+		}
+		return v
+	default:
+		return 0
+	}
+}
+
+// Clone deep-copies the tree.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	return &Node{Op: n.Op, Left: n.Left.Clone(), Right: n.Right.Clone(),
+		EvidenceIdx: n.EvidenceIdx, Const: n.Const}
+}
+
+// Size returns the node count.
+func (n *Node) Size() int {
+	if n == nil {
+		return 0
+	}
+	return 1 + n.Left.Size() + n.Right.Size()
+}
+
+// Depth returns the tree height.
+func (n *Node) Depth() int {
+	if n == nil {
+		return 0
+	}
+	l, r := n.Left.Depth(), n.Right.Depth()
+	if r > l {
+		l = r
+	}
+	return 1 + l
+}
+
+// String renders the expression in infix notation.
+func (n *Node) String() string {
+	switch n.Op {
+	case "evidence":
+		return fmt.Sprintf("E%d", n.EvidenceIdx)
+	case "const":
+		return fmt.Sprintf("%.3g", n.Const)
+	case "pow":
+		return fmt.Sprintf("pow(%s, %s)", n.Left, n.Right)
+	default:
+		return fmt.Sprintf("(%s %s %s)", n.Left, n.Op, n.Right)
+	}
+}
+
+// nodes collects all nodes in pre-order.
+func (n *Node) nodes() []*Node {
+	if n == nil {
+		return nil
+	}
+	out := []*Node{n}
+	out = append(out, n.Left.nodes()...)
+	out = append(out, n.Right.nodes()...)
+	return out
+}
+
+var internalOps = []string{"+", "-", "*", "/", "pow"}
+
+// RandomTree grows a random expression tree up to the given depth —
+// exported for benchmarks and downstream experimentation.
+func RandomTree(rng *rand.Rand, numEvidence, depth int) *Node {
+	return randomTree(rng, numEvidence, depth)
+}
+
+// randomTree grows a random expression tree up to the given depth
+// (grow method: leaves may appear early).
+func randomTree(rng *rand.Rand, numEvidence, depth int) *Node {
+	if depth <= 1 || rng.Float64() < 0.3 {
+		if rng.Float64() < 0.75 {
+			return &Node{Op: "evidence", EvidenceIdx: rng.Intn(numEvidence)}
+		}
+		return &Node{Op: "const", Const: math.Round(rng.Float64()*90)/10 + 0.1}
+	}
+	op := internalOps[rng.Intn(len(internalOps))]
+	return &Node{
+		Op:    op,
+		Left:  randomTree(rng, numEvidence, depth-1),
+		Right: randomTree(rng, numEvidence, depth-1),
+	}
+}
+
+// subtreeCrossover swaps a random subtree of a (clone) with a random
+// subtree of b.
+func subtreeCrossover(rng *rand.Rand, a, b *Node) *Node {
+	child := a.Clone()
+	targets := child.nodes()
+	donors := b.nodes()
+	target := targets[rng.Intn(len(targets))]
+	donor := donors[rng.Intn(len(donors))].Clone()
+	*target = *donor
+	return child
+}
+
+// mutate replaces a random subtree with a fresh random tree.
+func mutate(rng *rand.Rand, a *Node, numEvidence, depth int) *Node {
+	child := a.Clone()
+	targets := child.nodes()
+	target := targets[rng.Intn(len(targets))]
+	*target = *randomTree(rng, numEvidence, depth)
+	return child
+}
+
+// BuildEvidence derives the presupplied evidence list from property pairs.
+// For every pair the three string similarity functions the authors used
+// most (normalized Levenshtein, Jaccard, Jaro) are instantiated; numeric-,
+// date- or coordinate-valued pairs additionally receive their natural
+// measure based on the pair's discovery measure name.
+func BuildEvidence(pairs []PropertyPair) []Evidence {
+	var out []Evidence
+	seen := make(map[string]bool)
+	for _, p := range pairs {
+		key := p.A + "\x00" + p.B
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out,
+			Evidence{AttrA: p.A, AttrB: p.B, Measure: similarity.NormalizedLevenshtein(), Bounded: true},
+			Evidence{AttrA: p.A, AttrB: p.B, Measure: similarity.Jaccard(), Bounded: true},
+			Evidence{AttrA: p.A, AttrB: p.B, Measure: similarity.Jaro(), Bounded: true},
+		)
+		switch {
+		case strings.Contains(p.Measure, "geographic"):
+			out = append(out, Evidence{AttrA: p.A, AttrB: p.B, Measure: similarity.Geographic()})
+		case strings.Contains(p.Measure, "date"):
+			out = append(out, Evidence{AttrA: p.A, AttrB: p.B, Measure: similarity.Date()})
+		case strings.Contains(p.Measure, "numeric"):
+			out = append(out, Evidence{AttrA: p.A, AttrB: p.B, Measure: similarity.Numeric()})
+		}
+	}
+	return out
+}
+
+// PropertyPair mirrors genlink.PropertyPair without importing the package
+// (the baseline is presupplied its attribute pairs, Section 4).
+type PropertyPair struct {
+	A, B    string
+	Measure string
+}

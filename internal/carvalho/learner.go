@@ -1,0 +1,226 @@
+package carvalho
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"genlink/internal/entity"
+	"genlink/internal/evalx"
+	"genlink/internal/gp"
+)
+
+// DecisionBoundary is the fixed classification threshold: a pair is
+// predicted a replica when the evaluated expression reaches it.
+const DecisionBoundary = 1.0
+
+// Config holds the baseline's GP parameters. For a fair comparison the
+// defaults match GenLink's Table 4 settings where applicable.
+type Config struct {
+	PopulationSize      int
+	MaxIterations       int
+	TournamentSize      int
+	MutationProbability float64
+	// MaxDepth bounds generated and mutated subtrees.
+	MaxDepth int
+	// Elitism copies the best individual into the next generation
+	// (the authors' reproduction operator).
+	Elitism int
+	Workers int
+	Seed    int64
+}
+
+// DefaultConfig mirrors Table 4 where the representations overlap.
+func DefaultConfig() Config {
+	return Config{
+		PopulationSize:      500,
+		MaxIterations:       50,
+		TournamentSize:      5,
+		MutationProbability: 0.25,
+		MaxDepth:            5,
+		Elitism:             1,
+		Workers:             0,
+		Seed:                1,
+	}
+}
+
+// Classifier is a learned deduplication function.
+type Classifier struct {
+	Tree     *Node
+	Evidence []Evidence
+}
+
+// Score computes the raw expression value for a pair.
+func (c *Classifier) Score(a, b *entity.Entity) float64 {
+	ev := make([]float64, len(c.Evidence))
+	for i, e := range c.Evidence {
+		ev[i] = e.Value(a, b)
+	}
+	return c.Tree.Eval(ev)
+}
+
+// Matches reports whether the pair is classified as a replica.
+func (c *Classifier) Matches(a, b *entity.Entity) bool {
+	return c.Score(a, b) >= DecisionBoundary
+}
+
+// Evaluate computes the confusion matrix of the classifier over links.
+func (c *Classifier) Evaluate(refs *entity.ReferenceLinks) evalx.Confusion {
+	var conf evalx.Confusion
+	for _, p := range refs.Positive {
+		if c.Matches(p.A, p.B) {
+			conf.TP++
+		} else {
+			conf.FN++
+		}
+	}
+	for _, p := range refs.Negative {
+		if c.Matches(p.A, p.B) {
+			conf.FP++
+		} else {
+			conf.TN++
+		}
+	}
+	return conf
+}
+
+// Result is the outcome of a baseline learning run.
+type Result struct {
+	Best        *Classifier
+	BestTrainF1 float64
+	BestValF1   float64
+	Iterations  int
+	Elapsed     time.Duration
+}
+
+// Learner runs the baseline GP.
+type Learner struct {
+	cfg      Config
+	evidence []Evidence
+}
+
+// NewLearner returns a learner over the presupplied evidence.
+func NewLearner(cfg Config, evidence []Evidence) *Learner {
+	if cfg.PopulationSize <= 0 {
+		cfg.PopulationSize = DefaultConfig().PopulationSize
+	}
+	if cfg.TournamentSize <= 0 {
+		cfg.TournamentSize = DefaultConfig().TournamentSize
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = DefaultConfig().MaxDepth
+	}
+	return &Learner{cfg: cfg, evidence: evidence}
+}
+
+type indiv struct {
+	tree *Node
+	f1   float64
+}
+
+// Learn evolves an expression tree maximizing training F1 (the authors'
+// fitness) and reports validation F1 of the final best tree.
+func (l *Learner) Learn(train, val *entity.ReferenceLinks) (*Result, error) {
+	if len(l.evidence) == 0 {
+		return nil, errors.New("carvalho: no evidence supplied")
+	}
+	if train == nil || len(train.Positive) == 0 || len(train.Negative) == 0 {
+		return nil, errors.New("carvalho: training links need positives and negatives")
+	}
+	rng := rand.New(rand.NewSource(l.cfg.Seed))
+	start := time.Now()
+
+	// Precompute the evidence matrix once per training pair: tree
+	// evaluation then costs O(size) per pair instead of recomputing string
+	// distances for every individual.
+	posEv := evidenceMatrix(l.evidence, train.Positive)
+	negEv := evidenceMatrix(l.evidence, train.Negative)
+
+	fitness := func(in *indiv) float64 {
+		var conf evalx.Confusion
+		for _, ev := range posEv {
+			if in.tree.Eval(ev) >= DecisionBoundary {
+				conf.TP++
+			} else {
+				conf.FN++
+			}
+		}
+		for _, ev := range negEv {
+			if in.tree.Eval(ev) >= DecisionBoundary {
+				conf.FP++
+			} else {
+				conf.TN++
+			}
+		}
+		in.f1 = conf.FMeasure()
+		return in.f1
+	}
+
+	pop := l.randomPopulation(rng)
+	pop.Evaluate(fitness, l.cfg.Workers)
+
+	iterations := 0
+	for iter := 1; iter <= l.cfg.MaxIterations; iter++ {
+		best := pop.Individuals[pop.Best()].Genome
+		if best.f1 >= 1.0 {
+			break
+		}
+		next := make([]gp.Individual[*indiv], 0, l.cfg.PopulationSize)
+		for e := 0; e < l.cfg.Elitism && e < pop.Len(); e++ {
+			next = append(next, gp.Individual[*indiv]{Genome: &indiv{tree: best.tree.Clone()}})
+		}
+		for len(next) < l.cfg.PopulationSize {
+			i1, i2 := pop.SelectPair(rng, l.cfg.TournamentSize)
+			t1 := pop.Individuals[i1].Genome.tree
+			t2 := pop.Individuals[i2].Genome.tree
+			var child *Node
+			if rng.Float64() < l.cfg.MutationProbability {
+				child = mutate(rng, t1, len(l.evidence), l.cfg.MaxDepth)
+			} else {
+				child = subtreeCrossover(rng, t1, t2)
+			}
+			if child.Depth() > 2*l.cfg.MaxDepth {
+				child = randomTree(rng, len(l.evidence), l.cfg.MaxDepth)
+			}
+			next = append(next, gp.Individual[*indiv]{Genome: &indiv{tree: child}})
+		}
+		pop = &gp.Population[*indiv]{Individuals: next}
+		pop.Evaluate(fitness, l.cfg.Workers)
+		iterations = iter
+	}
+
+	best := pop.Individuals[pop.Best()].Genome
+	clf := &Classifier{Tree: best.tree, Evidence: l.evidence}
+	res := &Result{
+		Best:        clf,
+		BestTrainF1: best.f1,
+		Iterations:  iterations,
+		Elapsed:     time.Since(start),
+	}
+	if val != nil {
+		res.BestValF1 = clf.Evaluate(val).FMeasure()
+	}
+	return res, nil
+}
+
+func (l *Learner) randomPopulation(rng *rand.Rand) *gp.Population[*indiv] {
+	inds := make([]gp.Individual[*indiv], l.cfg.PopulationSize)
+	for i := range inds {
+		inds[i] = gp.Individual[*indiv]{Genome: &indiv{
+			tree: randomTree(rng, len(l.evidence), l.cfg.MaxDepth),
+		}}
+	}
+	return &gp.Population[*indiv]{Individuals: inds}
+}
+
+func evidenceMatrix(evidence []Evidence, pairs []entity.Pair) [][]float64 {
+	out := make([][]float64, len(pairs))
+	for i, p := range pairs {
+		row := make([]float64, len(evidence))
+		for j, ev := range evidence {
+			row[j] = ev.Value(p.A, p.B)
+		}
+		out[i] = row
+	}
+	return out
+}

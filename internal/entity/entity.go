@@ -1,0 +1,283 @@
+// Package entity defines the data model shared by every other package:
+// entities with multi-valued properties, data sources, and reference links.
+//
+// The model follows Section 2 of Isele & Bizer (PVLDB 2012): two data
+// sources A and B hold entities described by properties; the learner is
+// given positive reference links R+ ⊆ M and negative reference links
+// R− ⊆ U and must induce a linkage rule l : A×B → [0,1].
+package entity
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Entity is a single record in a data source. Properties are multi-valued:
+// RDF sources routinely attach several labels or synonyms to one subject,
+// and the comparison semantics (Definition 7) are defined over value sets.
+type Entity struct {
+	// ID uniquely identifies the entity within its data source
+	// (a URI for RDF sources, a record id for tabular sources).
+	ID string
+
+	// Properties maps a property name to all of its values.
+	// A missing key means the property is not set on this entity.
+	Properties map[string][]string
+}
+
+// New returns an entity with the given id and no properties.
+func New(id string) *Entity {
+	return &Entity{ID: id, Properties: make(map[string][]string)}
+}
+
+// Add appends a value to property p. Empty values are kept: some datasets
+// genuinely contain empty strings and distance measures must handle them.
+func (e *Entity) Add(p, value string) {
+	if e.Properties == nil {
+		e.Properties = make(map[string][]string)
+	}
+	e.Properties[p] = append(e.Properties[p], value)
+}
+
+// Set replaces all values of property p.
+func (e *Entity) Set(p string, values ...string) {
+	if e.Properties == nil {
+		e.Properties = make(map[string][]string)
+	}
+	e.Properties[p] = append([]string(nil), values...)
+}
+
+// Values returns all values of property p, or nil if the property is unset.
+// The returned slice must not be mutated by callers.
+func (e *Entity) Values(p string) []string {
+	if e == nil || e.Properties == nil {
+		return nil
+	}
+	return e.Properties[p]
+}
+
+// Has reports whether property p is set with at least one value.
+func (e *Entity) Has(p string) bool {
+	return len(e.Values(p)) > 0
+}
+
+// PropertyNames returns the sorted names of all set properties.
+func (e *Entity) PropertyNames() []string {
+	names := make([]string, 0, len(e.Properties))
+	for p := range e.Properties {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Clone returns a deep copy of the entity.
+func (e *Entity) Clone() *Entity {
+	c := New(e.ID)
+	for p, vs := range e.Properties {
+		c.Properties[p] = append([]string(nil), vs...)
+	}
+	return c
+}
+
+// String renders the entity compactly for debugging and examples.
+func (e *Entity) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s{", e.ID)
+	for i, p := range e.PropertyNames() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%q", p, e.Properties[p])
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Source is one of the two data sources being interlinked.
+type Source struct {
+	// Name identifies the source, e.g. "cora" or "dbpedia".
+	Name string
+
+	// Entities holds all entities of the source in insertion order.
+	Entities []*Entity
+
+	byID map[string]*Entity
+}
+
+// NewSource returns an empty data source with the given name.
+func NewSource(name string) *Source {
+	return &Source{Name: name, byID: make(map[string]*Entity)}
+}
+
+// Add inserts an entity. If an entity with the same ID already exists it is
+// replaced in the index but both remain in Entities; callers are expected to
+// use unique IDs (the datagen and loaders guarantee this).
+func (s *Source) Add(e *Entity) {
+	if s.byID == nil {
+		s.byID = make(map[string]*Entity)
+	}
+	s.Entities = append(s.Entities, e)
+	s.byID[e.ID] = e
+}
+
+// Get returns the entity with the given id, or nil.
+func (s *Source) Get(id string) *Entity {
+	if s == nil || s.byID == nil {
+		return nil
+	}
+	return s.byID[id]
+}
+
+// Len returns the number of entities in the source.
+func (s *Source) Len() int { return len(s.Entities) }
+
+// PropertyNames returns the sorted union of property names over all entities.
+func (s *Source) PropertyNames() []string {
+	set := make(map[string]struct{})
+	for _, e := range s.Entities {
+		for p := range e.Properties {
+			set[p] = struct{}{}
+		}
+	}
+	names := make([]string, 0, len(set))
+	for p := range set {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Coverage returns, for the union schema of the source, the average fraction
+// of properties that are actually set per entity — the statistic the paper
+// reports in Table 6.
+func (s *Source) Coverage() float64 {
+	props := s.PropertyNames()
+	if len(props) == 0 || len(s.Entities) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, e := range s.Entities {
+		set := 0
+		for _, p := range props {
+			if e.Has(p) {
+				set++
+			}
+		}
+		sum += float64(set) / float64(len(props))
+	}
+	return sum / float64(len(s.Entities))
+}
+
+// Pair is an ordered pair of entities (a ∈ A, b ∈ B).
+type Pair struct {
+	A, B *Entity
+}
+
+// Link is a reference link: a pair of entity IDs plus the known truth of
+// whether the two entities denote the same real-world object.
+type Link struct {
+	AID, BID string
+	Match    bool
+}
+
+// ReferenceLinks bundles the positive set R+ and negative set R− together
+// with the sources they refer to, resolved to entity pointers for fast
+// fitness evaluation.
+type ReferenceLinks struct {
+	Positive []Pair // R+
+	Negative []Pair // R−
+}
+
+// Resolve materializes links against the two sources. Links referring to
+// unknown entities yield an error: silently dropping them would corrupt the
+// fitness signal.
+func Resolve(a, b *Source, links []Link) (*ReferenceLinks, error) {
+	refs := &ReferenceLinks{}
+	for _, l := range links {
+		ea, eb := a.Get(l.AID), b.Get(l.BID)
+		if ea == nil {
+			return nil, fmt.Errorf("entity: link references unknown entity %q in source %q", l.AID, a.Name)
+		}
+		if eb == nil {
+			return nil, fmt.Errorf("entity: link references unknown entity %q in source %q", l.BID, b.Name)
+		}
+		p := Pair{A: ea, B: eb}
+		if l.Match {
+			refs.Positive = append(refs.Positive, p)
+		} else {
+			refs.Negative = append(refs.Negative, p)
+		}
+	}
+	return refs, nil
+}
+
+// Len returns |R+| + |R−|.
+func (r *ReferenceLinks) Len() int { return len(r.Positive) + len(r.Negative) }
+
+// Clone returns a shallow copy of the link sets (entities are shared).
+func (r *ReferenceLinks) Clone() *ReferenceLinks {
+	return &ReferenceLinks{
+		Positive: append([]Pair(nil), r.Positive...),
+		Negative: append([]Pair(nil), r.Negative...),
+	}
+}
+
+// GenerateNegatives derives negative reference links from positives the way
+// the paper does (Section 6.1): for two positive links (a,b) and (c,d) it
+// emits (a,d) and (c,b). The result has the same cardinality as the input
+// (each consecutive pair of positives contributes two negatives; with an odd
+// count the last positive is crossed with the first). This is sound when the
+// positive links are complete or the sources are internally duplicate-free.
+func GenerateNegatives(positive []Pair) []Pair {
+	n := len(positive)
+	if n < 2 {
+		return nil
+	}
+	negatives := make([]Pair, 0, n)
+	for i := 0; i+1 < n; i += 2 {
+		p, q := positive[i], positive[i+1]
+		negatives = append(negatives, Pair{A: p.A, B: q.B}, Pair{A: q.A, B: p.B})
+	}
+	if n%2 == 1 {
+		p, q := positive[n-1], positive[0]
+		negatives = append(negatives, Pair{A: p.A, B: q.B})
+	}
+	if len(negatives) > n {
+		negatives = negatives[:n]
+	}
+	return negatives
+}
+
+// Dataset is a complete matching task: two sources plus reference links.
+type Dataset struct {
+	Name string
+	A, B *Source
+	Refs *ReferenceLinks
+}
+
+// Stats summarizes a dataset with the quantities of Tables 5 and 6.
+type Stats struct {
+	Name                 string
+	EntitiesA, EntitiesB int
+	Positive, Negative   int
+	PropertiesA          int
+	PropertiesB          int
+	CoverageA, CoverageB float64
+}
+
+// ComputeStats derives the Table 5/6 row for a dataset.
+func (d *Dataset) ComputeStats() Stats {
+	return Stats{
+		Name:        d.Name,
+		EntitiesA:   d.A.Len(),
+		EntitiesB:   d.B.Len(),
+		Positive:    len(d.Refs.Positive),
+		Negative:    len(d.Refs.Negative),
+		PropertiesA: len(d.A.PropertyNames()),
+		PropertiesB: len(d.B.PropertyNames()),
+		CoverageA:   d.A.Coverage(),
+		CoverageB:   d.B.Coverage(),
+	}
+}

@@ -1,0 +1,322 @@
+package entity
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndValues(t *testing.T) {
+	e := New("e1")
+	if e.Has("name") {
+		t.Fatal("new entity should have no properties")
+	}
+	e.Add("name", "Berlin")
+	e.Add("name", "Berlin, Germany")
+	got := e.Values("name")
+	want := []string{"Berlin", "Berlin, Germany"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Values(name) = %v, want %v", got, want)
+	}
+	if !e.Has("name") {
+		t.Fatal("Has(name) = false after Add")
+	}
+}
+
+func TestAddOnZeroValueEntity(t *testing.T) {
+	var e Entity
+	e.Add("p", "v")
+	if got := e.Values("p"); len(got) != 1 || got[0] != "v" {
+		t.Fatalf("Values(p) = %v, want [v]", got)
+	}
+}
+
+func TestSetReplaces(t *testing.T) {
+	e := New("e1")
+	e.Add("p", "old")
+	e.Set("p", "new1", "new2")
+	if got := e.Values("p"); !reflect.DeepEqual(got, []string{"new1", "new2"}) {
+		t.Fatalf("Values(p) = %v after Set", got)
+	}
+}
+
+func TestSetCopiesInput(t *testing.T) {
+	e := New("e1")
+	in := []string{"a", "b"}
+	e.Set("p", in...)
+	in[0] = "mutated"
+	if got := e.Values("p")[0]; got != "a" {
+		t.Fatalf("Set aliased caller slice: got %q", got)
+	}
+}
+
+func TestValuesOnNil(t *testing.T) {
+	var e *Entity
+	if e.Values("p") != nil {
+		t.Fatal("nil entity should return nil values")
+	}
+}
+
+func TestPropertyNamesSorted(t *testing.T) {
+	e := New("e1")
+	e.Add("zeta", "1")
+	e.Add("alpha", "2")
+	e.Add("mid", "3")
+	want := []string{"alpha", "mid", "zeta"}
+	if got := e.PropertyNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("PropertyNames = %v, want %v", got, want)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	e := New("e1")
+	e.Add("p", "v1")
+	c := e.Clone()
+	c.Add("p", "v2")
+	c.Add("q", "x")
+	if len(e.Values("p")) != 1 {
+		t.Fatal("mutating clone affected original values")
+	}
+	if e.Has("q") {
+		t.Fatal("mutating clone added property to original")
+	}
+}
+
+func TestEntityString(t *testing.T) {
+	e := New("e1")
+	e.Add("name", "a")
+	s := e.String()
+	if s != `e1{name=["a"]}` {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestSourceAddGet(t *testing.T) {
+	s := NewSource("src")
+	e := New("e1")
+	s.Add(e)
+	if s.Get("e1") != e {
+		t.Fatal("Get did not return added entity")
+	}
+	if s.Get("missing") != nil {
+		t.Fatal("Get(missing) should be nil")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestSourceGetOnZeroValue(t *testing.T) {
+	var s Source
+	if s.Get("x") != nil {
+		t.Fatal("zero-value source Get should be nil")
+	}
+	s.Add(New("e1"))
+	if s.Get("e1") == nil {
+		t.Fatal("Add on zero-value source must initialize index")
+	}
+}
+
+func TestSourcePropertyNamesUnion(t *testing.T) {
+	s := NewSource("src")
+	e1 := New("e1")
+	e1.Add("a", "1")
+	e2 := New("e2")
+	e2.Add("b", "2")
+	s.Add(e1)
+	s.Add(e2)
+	if got := s.PropertyNames(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("PropertyNames = %v", got)
+	}
+}
+
+func TestSourceCoverage(t *testing.T) {
+	s := NewSource("src")
+	full := New("e1")
+	full.Add("a", "1")
+	full.Add("b", "2")
+	half := New("e2")
+	half.Add("a", "1")
+	s.Add(full)
+	s.Add(half)
+	if got := s.Coverage(); got != 0.75 {
+		t.Fatalf("Coverage = %v, want 0.75", got)
+	}
+}
+
+func TestSourceCoverageEmpty(t *testing.T) {
+	s := NewSource("src")
+	if got := s.Coverage(); got != 0 {
+		t.Fatalf("Coverage of empty source = %v, want 0", got)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	a := NewSource("a")
+	b := NewSource("b")
+	a.Add(New("a1"))
+	b.Add(New("b1"))
+	refs, err := Resolve(a, b, []Link{
+		{AID: "a1", BID: "b1", Match: true},
+		{AID: "a1", BID: "b1", Match: false},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs.Positive) != 1 || len(refs.Negative) != 1 {
+		t.Fatalf("Resolve split = %d/%d", len(refs.Positive), len(refs.Negative))
+	}
+	if refs.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", refs.Len())
+	}
+}
+
+func TestResolveUnknownEntity(t *testing.T) {
+	a := NewSource("a")
+	b := NewSource("b")
+	a.Add(New("a1"))
+	if _, err := Resolve(a, b, []Link{{AID: "a1", BID: "ghost", Match: true}}); err == nil {
+		t.Fatal("Resolve should fail on unknown entity")
+	}
+	if _, err := Resolve(a, b, []Link{{AID: "ghost", BID: "b1", Match: true}}); err == nil {
+		t.Fatal("Resolve should fail on unknown entity in A")
+	}
+}
+
+func TestGenerateNegativesEven(t *testing.T) {
+	mk := func(id string) *Entity { return New(id) }
+	pos := []Pair{
+		{A: mk("a1"), B: mk("b1")},
+		{A: mk("a2"), B: mk("b2")},
+		{A: mk("a3"), B: mk("b3")},
+		{A: mk("a4"), B: mk("b4")},
+	}
+	neg := GenerateNegatives(pos)
+	if len(neg) != len(pos) {
+		t.Fatalf("|R−| = %d, want %d", len(neg), len(pos))
+	}
+	// Every generated negative must cross two distinct positive links.
+	for _, n := range neg {
+		for _, p := range pos {
+			if n.A == p.A && n.B == p.B {
+				t.Fatalf("negative %v duplicates a positive link", n)
+			}
+		}
+	}
+}
+
+func TestGenerateNegativesOdd(t *testing.T) {
+	pos := []Pair{
+		{A: New("a1"), B: New("b1")},
+		{A: New("a2"), B: New("b2")},
+		{A: New("a3"), B: New("b3")},
+	}
+	neg := GenerateNegatives(pos)
+	if len(neg) != 3 {
+		t.Fatalf("|R−| = %d, want 3", len(neg))
+	}
+}
+
+func TestGenerateNegativesDegenerate(t *testing.T) {
+	if GenerateNegatives(nil) != nil {
+		t.Fatal("nil input should give nil negatives")
+	}
+	one := []Pair{{A: New("a"), B: New("b")}}
+	if GenerateNegatives(one) != nil {
+		t.Fatal("single positive cannot generate negatives")
+	}
+}
+
+func TestCloneRefs(t *testing.T) {
+	r := &ReferenceLinks{
+		Positive: []Pair{{A: New("a"), B: New("b")}},
+		Negative: []Pair{{A: New("c"), B: New("d")}},
+	}
+	c := r.Clone()
+	c.Positive = append(c.Positive, Pair{A: New("x"), B: New("y")})
+	if len(r.Positive) != 1 {
+		t.Fatal("Clone shares positive slice with original")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	a := NewSource("a")
+	ea := New("a1")
+	ea.Add("name", "x")
+	a.Add(ea)
+	b := NewSource("b")
+	eb := New("b1")
+	eb.Add("label", "x")
+	eb.Add("extra", "y")
+	b.Add(eb)
+	d := &Dataset{Name: "toy", A: a, B: b, Refs: &ReferenceLinks{
+		Positive: []Pair{{A: ea, B: eb}},
+	}}
+	st := d.ComputeStats()
+	if st.EntitiesA != 1 || st.EntitiesB != 1 || st.Positive != 1 || st.Negative != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.PropertiesA != 1 || st.PropertiesB != 2 {
+		t.Fatalf("property counts = %d/%d", st.PropertiesA, st.PropertiesB)
+	}
+	if st.CoverageA != 1.0 || st.CoverageB != 1.0 {
+		t.Fatalf("coverage = %v/%v", st.CoverageA, st.CoverageB)
+	}
+}
+
+// Property: GenerateNegatives never returns more negatives than positives
+// and never returns a pair identical to a positive pair.
+func TestGenerateNegativesProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%50) + 2
+		pos := make([]Pair, count)
+		for i := range pos {
+			pos[i] = Pair{A: New(fmtID("a", i)), B: New(fmtID("b", i))}
+		}
+		_ = rng
+		neg := GenerateNegatives(pos)
+		if len(neg) > len(pos) {
+			return false
+		}
+		for _, nn := range neg {
+			for _, pp := range pos {
+				if nn.A == pp.A && nn.B == pp.B {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fmtID(prefix string, i int) string {
+	return prefix + string(rune('0'+i%10)) + string(rune('a'+i/10%26))
+}
+
+// Property: Coverage is always within [0,1].
+func TestCoverageBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSource("s")
+		props := []string{"p0", "p1", "p2", "p3", "p4"}
+		for i := 0; i < rng.Intn(20)+1; i++ {
+			e := New(fmtID("e", i))
+			for _, p := range props {
+				if rng.Float64() < 0.5 {
+					e.Add(p, "v")
+				}
+			}
+			s.Add(e)
+		}
+		c := s.Coverage()
+		return c >= 0 && c <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"genlink/internal/genlink"
+)
+
+// tinyScale keeps unit tests fast while exercising the full pipeline.
+func tinyScale() Scale {
+	return Scale{
+		Runs:           1,
+		PopulationSize: 50,
+		MaxIterations:  6,
+		Checkpoints:    []int{0, 3, 6},
+		MaxRefLinks:    50,
+		Seed:           1,
+	}
+}
+
+func TestTables5And6Render(t *testing.T) {
+	t5 := Table5(1)
+	for _, want := range []string{"Cora", "1879", "1617", "DBpediaDrugBank", "1403"} {
+		if !strings.Contains(t5, want) {
+			t.Errorf("Table5 missing %q:\n%s", want, t5)
+		}
+	}
+	t6 := Table6(1)
+	for _, want := range []string{"Restaurant", "1.0", "NYT", "110"} {
+		if !strings.Contains(t6, want) {
+			t.Errorf("Table6 missing %q:\n%s", want, t6)
+		}
+	}
+}
+
+func TestLearningCurveOnRestaurant(t *testing.T) {
+	ds := Dataset("Restaurant", 1)
+	res := LearningCurve(ds, tinyScale())
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.TrainF1 < first.TrainF1 {
+		t.Errorf("training F1 regressed: %.3f → %.3f", first.TrainF1, last.TrainF1)
+	}
+	if last.TrainF1 < 0.85 {
+		t.Errorf("Restaurant should be learnable: final train F1 = %.3f", last.TrainF1)
+	}
+	if res.BestRule == "" {
+		t.Error("no example rule rendered")
+	}
+}
+
+func TestLearningCurveTableRenders(t *testing.T) {
+	out := LearningCurveTable(8, tinyScale())
+	for _, want := range []string{"Table 8", "Restaurant", "Iter.", "Carvalho"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q", want)
+		}
+	}
+	if got := LearningCurveTable(99, tinyScale()); !strings.Contains(got, "no learning-curve table") {
+		t.Error("unknown table number should report an error string")
+	}
+}
+
+func TestCarvalhoBaselineRuns(t *testing.T) {
+	ds := Dataset("Restaurant", 1)
+	res := CarvalhoBaseline(ds, tinyScale())
+	if res.TrainF1 <= 0 || res.TrainF1 > 1 {
+		t.Fatalf("baseline train F1 = %v", res.TrainF1)
+	}
+}
+
+func TestTable14SeedingImproves(t *testing.T) {
+	// On a many-property dataset, seeding must beat random initialization
+	// — the paper's central Table 14 claim.
+	scale := tinyScale()
+	ds := Dataset("SiderDrugBank", 1)
+	var random, seeded float64
+	for _, mode := range []genlink.SeedingMode{genlink.RandomInit, genlink.Seeded} {
+		mode := mode
+		res := LearningCurveWithConfig(ds, zeroIterations(scale), func(cfg *genlink.Config) {
+			cfg.Seeding = mode
+		})
+		if mode == genlink.RandomInit {
+			random = res.Rows[0].MeanPopulationF1
+		} else {
+			seeded = res.Rows[0].MeanPopulationF1
+		}
+	}
+	if seeded <= random {
+		t.Errorf("seeded init F1 (%.3f) should exceed random (%.3f)", seeded, random)
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	ds := Dataset("Cora", 1)
+	scale := tinyScale()
+	_ = scale
+	refs := ds.Refs
+	if len(refs.Positive) != 1617 {
+		t.Fatalf("unexpected positives: %d", len(refs.Positive))
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"testing"
+
+	"genlink/internal/datagen"
+)
+
+// TestShapeAllDatasets is the end-to-end reproduction smoke test: at quick
+// scale every dataset must (a) be learnable to a high validation F-measure
+// and (b) improve (or stay) from the initial population to the final
+// iteration — the qualitative shape of Tables 7–12.
+func TestShapeAllDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape check is slow")
+	}
+	// Minimum final validation F1 per dataset at quick scale. The paper's
+	// full-scale numbers are higher (0.966–0.999); these bounds only
+	// guard the qualitative reproduction against regressions.
+	minVal := map[string]float64{
+		"Cora":            0.90,
+		"Restaurant":      0.95,
+		"SiderDrugBank":   0.90,
+		"NYT":             0.90,
+		"LinkedMDB":       0.90,
+		"DBpediaDrugBank": 0.88,
+	}
+	scale := Quick()
+	for _, name := range datagen.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ds := Dataset(name, 1)
+			res := LearningCurve(ds, scale)
+			first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+			if last.TrainF1+1e-9 < first.TrainF1 {
+				t.Errorf("train F1 regressed: %.3f → %.3f", first.TrainF1, last.TrainF1)
+			}
+			if last.ValF1 < minVal[name] {
+				t.Errorf("final val F1 = %.3f, want ≥ %.2f\nexample rule:\n%s",
+					last.ValF1, minVal[name], res.BestRule)
+			}
+			t.Logf("%s: iter0 train=%.3f val=%.3f → final train=%.3f val=%.3f",
+				name, first.TrainF1, first.ValF1, last.TrainF1, last.ValF1)
+		})
+	}
+}

@@ -1,0 +1,136 @@
+package genlink
+
+import (
+	"math/rand"
+	"sort"
+
+	"genlink/internal/entity"
+	"genlink/internal/similarity"
+	"genlink/internal/transform"
+)
+
+// PropertyPair is one entry of the compatible-property list of Section 5.1:
+// a source property, a target property and the distance measure under which
+// their values were observed to be similar.
+type PropertyPair struct {
+	// A is the property in the source data set.
+	A string
+	// B is the property in the target data set.
+	B string
+	// Measure names the distance measure that matched.
+	Measure string
+	// Support counts how many analyzed links exhibited the similarity.
+	Support int
+}
+
+// CompatibleProperties implements Algorithm 2: for each positive reference
+// link it lowercases and tokenizes every property value pair and records
+// the property pair whenever some distance function finds two tokens within
+// threshold. The returned list is sorted by descending support, then
+// lexicographically for determinism.
+//
+// Following the paper's experiments, callers usually pass only the
+// Levenshtein measure with threshold 1. maxLinks > 0 analyzes a random
+// sample of at most that many links (rng is only used for sampling).
+func CompatibleProperties(positive []entity.Pair, measures []similarity.Measure,
+	threshold float64, maxLinks int, rng *rand.Rand) []PropertyPair {
+
+	links := positive
+	if maxLinks > 0 && len(links) > maxLinks {
+		sample := append([]entity.Pair(nil), links...)
+		rng.Shuffle(len(sample), func(i, j int) { sample[i], sample[j] = sample[j], sample[i] })
+		links = sample[:maxLinks]
+	}
+
+	lower := transform.LowerCase()
+	tokenize := transform.Tokenize()
+
+	// normalized holds both the lowercased raw values and their tokens:
+	// string measures match on tokens while measures that parse whole
+	// values (geographic, date, numeric) need the untokenized form.
+	type normalized struct{ raw, tokens []string }
+	norm := func(values []string) normalized {
+		raw := lower.Apply(values)
+		return normalized{raw: raw, tokens: tokenize.Apply(raw)}
+	}
+
+	type key struct{ a, b, m string }
+	support := make(map[key]int)
+	for _, link := range links {
+		propsA := link.A.PropertyNames()
+		propsB := link.B.PropertyNames()
+		normA := make(map[string]normalized, len(propsA))
+		for _, p := range propsA {
+			normA[p] = norm(link.A.Values(p))
+		}
+		for _, pb := range propsB {
+			vb := norm(link.B.Values(pb))
+			if len(vb.raw) == 0 {
+				continue
+			}
+			for _, pa := range propsA {
+				va := normA[pa]
+				if len(va.raw) == 0 {
+					continue
+				}
+				for _, m := range measures {
+					if m.Distance(va.tokens, vb.tokens) < threshold ||
+						m.Distance(va.raw, vb.raw) < threshold {
+						support[key{pa, pb, m.Name()}]++
+					}
+				}
+			}
+		}
+	}
+
+	pairs := make([]PropertyPair, 0, len(support))
+	for k, s := range support {
+		pairs = append(pairs, PropertyPair{A: k.a, B: k.b, Measure: k.m, Support: s})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Support != pairs[j].Support {
+			return pairs[i].Support > pairs[j].Support
+		}
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		if pairs[i].B != pairs[j].B {
+			return pairs[i].B < pairs[j].B
+		}
+		return pairs[i].Measure < pairs[j].Measure
+	})
+	return pairs
+}
+
+// AllPropertyPairs returns the full cross product of source and target
+// properties — the unseeded search space used by the RandomInit mode of
+// Table 14. The measure of each pair is left empty (drawn randomly later).
+func AllPropertyPairs(positive []entity.Pair) []PropertyPair {
+	setA := make(map[string]struct{})
+	setB := make(map[string]struct{})
+	for _, link := range positive {
+		for p := range link.A.Properties {
+			setA[p] = struct{}{}
+		}
+		for p := range link.B.Properties {
+			setB[p] = struct{}{}
+		}
+	}
+	listA := make([]string, 0, len(setA))
+	for p := range setA {
+		listA = append(listA, p)
+	}
+	listB := make([]string, 0, len(setB))
+	for p := range setB {
+		listB = append(listB, p)
+	}
+	sort.Strings(listA)
+	sort.Strings(listB)
+	pairs := make([]PropertyPair, 0, len(listA)*len(listB))
+	for _, a := range listA {
+		for _, b := range listB {
+			pairs = append(pairs, PropertyPair{A: a, B: b})
+		}
+	}
+	return pairs
+}

@@ -1,0 +1,131 @@
+package genlink
+
+import (
+	"math/rand"
+	"testing"
+
+	"genlink/internal/entity"
+	"genlink/internal/similarity"
+)
+
+// figure3Links reproduces the example of Figure 3: two city entities whose
+// label properties hold similar values and whose point/coord properties
+// hold identical coordinates.
+func figure3Links() []entity.Pair {
+	a := entity.New("a/berlin")
+	a.Add("label", "Berlin")
+	a.Add("point", "52.31 13.24")
+	b := entity.New("b/berlin")
+	b.Add("label", "berlin")
+	b.Add("coord", "52.31 13.24")
+	return []entity.Pair{{A: a, B: b}}
+}
+
+func TestCompatiblePropertiesFigure3(t *testing.T) {
+	measures := []similarity.Measure{similarity.Levenshtein(), similarity.Geographic()}
+	pairs := CompatibleProperties(figure3Links(), measures, 1, 0, rand.New(rand.NewSource(1)))
+
+	want := map[[3]string]bool{
+		{"label", "label", "levenshtein"}: false,
+		{"point", "coord", "geographic"}:  false,
+	}
+	for _, p := range pairs {
+		key := [3]string{p.A, p.B, p.Measure}
+		if _, ok := want[key]; ok {
+			want[key] = true
+		}
+	}
+	for key, found := range want {
+		if !found {
+			t.Errorf("expected compatible pair %v (Figure 3)", key)
+		}
+	}
+	// The cross pair (label, coord) must not match under levenshtein θ=1.
+	for _, p := range pairs {
+		if p.A == "label" && p.B == "coord" && p.Measure == "levenshtein" {
+			t.Error("label/coord should not be levenshtein-compatible")
+		}
+	}
+}
+
+func TestCompatiblePropertiesThreshold(t *testing.T) {
+	a := entity.New("a")
+	a.Add("name", "completely")
+	b := entity.New("b")
+	b.Add("title", "different")
+	links := []entity.Pair{{A: a, B: b}}
+	pairs := CompatibleProperties(links, []similarity.Measure{similarity.Levenshtein()}, 1, 0, rand.New(rand.NewSource(1)))
+	if len(pairs) != 0 {
+		t.Fatalf("dissimilar values produced pairs: %v", pairs)
+	}
+}
+
+func TestCompatiblePropertiesLowercasesAndTokenizes(t *testing.T) {
+	// "The Great Escape" vs "great escape, the" share lowercase tokens.
+	a := entity.New("a")
+	a.Add("title", "The Great Escape")
+	b := entity.New("b")
+	b.Add("name", "GREAT escape")
+	links := []entity.Pair{{A: a, B: b}}
+	pairs := CompatibleProperties(links, []similarity.Measure{similarity.Levenshtein()}, 1, 0, rand.New(rand.NewSource(1)))
+	if len(pairs) != 1 || pairs[0].A != "title" || pairs[0].B != "name" {
+		t.Fatalf("pairs = %v, want title→name", pairs)
+	}
+}
+
+func TestCompatiblePropertiesSupportOrdering(t *testing.T) {
+	var links []entity.Pair
+	for i := 0; i < 4; i++ {
+		a := entity.New("a")
+		a.Add("strong", "shared")
+		b := entity.New("b")
+		b.Add("strong", "shared")
+		if i == 0 {
+			a.Add("weak", "once")
+			b.Add("weak", "once")
+		}
+		links = append(links, entity.Pair{A: a, B: b})
+	}
+	pairs := CompatibleProperties(links, []similarity.Measure{similarity.Levenshtein()}, 1, 0, rand.New(rand.NewSource(1)))
+	if len(pairs) < 2 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if pairs[0].A != "strong" || pairs[0].Support != 4 {
+		t.Fatalf("highest-support pair should come first, got %+v", pairs[0])
+	}
+}
+
+func TestCompatiblePropertiesSampling(t *testing.T) {
+	var links []entity.Pair
+	for i := 0; i < 100; i++ {
+		a := entity.New("a")
+		a.Add("p", "same")
+		b := entity.New("b")
+		b.Add("q", "same")
+		links = append(links, entity.Pair{A: a, B: b})
+	}
+	pairs := CompatibleProperties(links, []similarity.Measure{similarity.Levenshtein()}, 1, 10, rand.New(rand.NewSource(1)))
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if pairs[0].Support > 10 {
+		t.Fatalf("sampled support = %d, cap was 10", pairs[0].Support)
+	}
+}
+
+func TestAllPropertyPairs(t *testing.T) {
+	a := entity.New("a")
+	a.Add("p1", "x")
+	a.Add("p2", "y")
+	b := entity.New("b")
+	b.Add("q1", "x")
+	pairs := AllPropertyPairs([]entity.Pair{{A: a, B: b}})
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v, want 2 (cross product)", pairs)
+	}
+	for _, p := range pairs {
+		if p.Measure != "" {
+			t.Fatal("AllPropertyPairs should leave measures empty")
+		}
+	}
+}

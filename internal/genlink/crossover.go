@@ -1,0 +1,453 @@
+package genlink
+
+import (
+	"math/rand"
+
+	"genlink/internal/rule"
+)
+
+// CrossoverOp recombines two linkage rules into a new one. Implementations
+// never mutate their arguments: the result is derived from a clone of r1
+// with (clones of) material from r2, exactly as the operators of
+// Section 5.3 are specified ("return r1 with ...").
+type CrossoverOp interface {
+	// Name identifies the operator, e.g. "function".
+	Name() string
+	// Cross derives a new rule from r1 using material from r2.
+	Cross(rng *rand.Rand, r1, r2 *rule.Rule) *rule.Rule
+}
+
+type crossoverFunc struct {
+	name string
+	fn   func(rng *rand.Rand, r1, r2 *rule.Rule) *rule.Rule
+}
+
+func (c crossoverFunc) Name() string { return c.name }
+
+func (c crossoverFunc) Cross(rng *rand.Rand, r1, r2 *rule.Rule) *rule.Rule {
+	return c.fn(rng, r1, r2)
+}
+
+// operatorSet returns the crossover operators available under the config:
+// the six specialized operators of Section 5.3, pruned to the ones
+// meaningful for the representation, or plain subtree crossover for the
+// Table 15 baseline.
+func operatorSet(cfg Config) []CrossoverOp {
+	if cfg.Crossover == Subtree {
+		return []CrossoverOp{SubtreeCrossover()}
+	}
+	ops := []CrossoverOp{
+		FunctionCrossover(cfg.Representation),
+		OperatorsCrossover(cfg.Representation),
+		ThresholdCrossover(),
+		WeightCrossover(),
+	}
+	if cfg.Representation.allowsNesting() {
+		ops = append(ops, AggregationCrossover())
+	}
+	if cfg.Representation.allowsTransformations() {
+		ops = append(ops, TransformationCrossover())
+	}
+	return ops
+}
+
+// ---------------------------------------------------------------------------
+// Function crossover (Algorithm 3)
+
+// FunctionCrossover interchanges the function of one randomly selected
+// operator: the distance measure of a comparison, the transformation
+// function of a transformation, or the aggregation function of an
+// aggregation. The node type is drawn uniformly among the types present in
+// both rules; function swaps respect transformation arity.
+func FunctionCrossover(rep Representation) CrossoverOp {
+	return crossoverFunc{name: "function", fn: func(rng *rand.Rand, r1, r2 *rule.Rule) *rule.Rule {
+		out := r1.Clone()
+
+		type swap func() bool
+		var candidates []swap
+
+		if cmps1, cmps2 := out.Comparisons(), r2.Comparisons(); len(cmps1) > 0 && len(cmps2) > 0 {
+			candidates = append(candidates, func() bool {
+				c1 := cmps1[rng.Intn(len(cmps1))]
+				c2 := cmps2[rng.Intn(len(cmps2))]
+				c1.Measure = c2.Measure
+				return true
+			})
+		}
+		if aggs1, aggs2 := out.Aggregations(), r2.Aggregations(); len(aggs1) > 0 && len(aggs2) > 0 {
+			candidates = append(candidates, func() bool {
+				a1 := aggs1[rng.Intn(len(aggs1))]
+				a2 := aggs2[rng.Intn(len(aggs2))]
+				if !aggregatorAllowed(rep, a2.Function) {
+					return false
+				}
+				a1.Function = a2.Function
+				return true
+			})
+		}
+		if rep.allowsTransformations() {
+			trs1, trs2 := out.Transformations(), r2.Transformations()
+			if len(trs1) > 0 && len(trs2) > 0 {
+				candidates = append(candidates, func() bool {
+					t1 := trs1[rng.Intn(len(trs1))]
+					// Only functions of matching arity keep the tree valid.
+					var compatible []*rule.TransformOp
+					for _, t2 := range trs2 {
+						if t2.Function.Arity() == t1.Function.Arity() || t2.Function.Arity() < 0 {
+							compatible = append(compatible, t2)
+						}
+					}
+					if len(compatible) == 0 {
+						return false
+					}
+					t1.Function = compatible[rng.Intn(len(compatible))].Function
+					return true
+				})
+			}
+		}
+		if len(candidates) == 0 {
+			return out
+		}
+		candidates[rng.Intn(len(candidates))]()
+		return out
+	}}
+}
+
+func aggregatorAllowed(rep Representation, agg rule.Aggregator) bool {
+	for _, a := range rep.aggregators() {
+		if a.Name() == agg.Name() {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Operators crossover (Algorithm 4)
+
+// OperatorsCrossover combines the operands of one aggregation from each
+// rule: the union of both operand lists is formed and every operand is then
+// kept with probability 50%. At least one operand always survives so the
+// result stays a valid rule.
+func OperatorsCrossover(rep Representation) CrossoverOp {
+	return crossoverFunc{name: "operators", fn: func(rng *rand.Rand, r1, r2 *rule.Rule) *rule.Rule {
+		out := r1.Clone()
+		agg1 := randomAggregation(rng, out, rep)
+		if agg1 == nil {
+			return out
+		}
+
+		pool := append([]rule.SimilarityOp(nil), agg1.Operands...)
+		if agg2 := pickAggregation(rng, r2); agg2 != nil {
+			for _, op := range agg2.Operands {
+				pool = append(pool, op.CloneSim())
+			}
+		} else if r2.Root != nil {
+			pool = append(pool, r2.Root.CloneSim())
+		}
+
+		var kept []rule.SimilarityOp
+		for _, op := range pool {
+			if rng.Float64() > 0.5 {
+				kept = append(kept, op)
+			}
+		}
+		if len(kept) == 0 {
+			kept = append(kept, pool[rng.Intn(len(pool))])
+		}
+		agg1.Operands = kept
+		return out
+	}}
+}
+
+// randomAggregation returns a random aggregation of r; if the rule's root is
+// a bare comparison it is wrapped into a fresh aggregation first (rules can
+// collapse to single comparisons through aggregation crossover).
+func randomAggregation(rng *rand.Rand, r *rule.Rule, rep Representation) *rule.AggregationOp {
+	if agg := pickAggregation(rng, r); agg != nil {
+		return agg
+	}
+	if r.Root == nil {
+		return nil
+	}
+	aggs := rep.aggregators()
+	wrapped := rule.NewAggregation(aggs[rng.Intn(len(aggs))], r.Root)
+	r.Root = wrapped
+	return wrapped
+}
+
+func pickAggregation(rng *rand.Rand, r *rule.Rule) *rule.AggregationOp {
+	aggs := r.Aggregations()
+	if len(aggs) == 0 {
+		return nil
+	}
+	return aggs[rng.Intn(len(aggs))]
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation crossover (Algorithm 5)
+
+// AggregationCrossover replaces a random aggregation or comparison operator
+// in the first rule with a random aggregation or comparison operator from
+// the second rule, building aggregation hierarchies by mixing tree levels.
+func AggregationCrossover() CrossoverOp {
+	return crossoverFunc{name: "aggregation", fn: func(rng *rand.Rand, r1, r2 *rule.Rule) *rule.Rule {
+		out := r1.Clone()
+		ops1 := out.SimilarityOps()
+		ops2 := r2.SimilarityOps()
+		if len(ops1) == 0 || len(ops2) == 0 {
+			return out
+		}
+		target := ops1[rng.Intn(len(ops1))]
+		donor := ops2[rng.Intn(len(ops2))].CloneSim()
+		out.Root = rule.ReplaceSim(out.Root, target, donor)
+		return out
+	}}
+}
+
+// ---------------------------------------------------------------------------
+// Transformation crossover (Algorithm 6)
+
+// TransformationCrossover recombines the transformation chains of both
+// rules with a two-point crossover: an upper and a lower transformation are
+// selected in each rule and the path between them in the second rule
+// replaces the path in the first. Duplicate consecutive transformations are
+// removed afterwards. If the first rule has no transformations yet, a chain
+// segment from the second rule is grafted onto one of its properties, which
+// lets chains start growing.
+func TransformationCrossover() CrossoverOp {
+	return crossoverFunc{name: "transformation", fn: func(rng *rand.Rand, r1, r2 *rule.Rule) *rule.Rule {
+		out := r1.Clone()
+		chains2 := transformationChains(r2)
+		if len(chains2) == 0 {
+			return out // nothing to recombine
+		}
+		// Select the donor segment: upper..lower within a random chain of r2.
+		donorChain := chains2[rng.Intn(len(chains2))]
+		upper2 := rng.Intn(len(donorChain))
+		lower2 := upper2 + rng.Intn(len(donorChain)-upper2)
+		segment, bottom := cloneSegment(donorChain[upper2 : lower2+1])
+
+		chains1 := transformationChains(out)
+		if len(chains1) == 0 {
+			// Graft onto a random property operator: replace the property
+			// with the segment first, then hang the property below the
+			// segment (attaching before replacing would make the segment
+			// contain the search target and create a cycle).
+			props := out.Properties()
+			if len(props) == 0 {
+				return out
+			}
+			target := props[rng.Intn(len(props))]
+			if !rule.ReplaceValue(out.Root, target, segment) {
+				return out
+			}
+			bottom.Inputs = []rule.ValueOp{target}
+			dedupeAllChains(out)
+			return out
+		}
+
+		chain1 := chains1[rng.Intn(len(chains1))]
+		upper1 := rng.Intn(len(chain1))
+		lower1 := upper1 + rng.Intn(len(chain1)-upper1)
+		// The new segment inherits the inputs below the lower transformation
+		// of the first rule (Algorithm 6: t2lower.~v ← t1lower.~v).
+		bottom.Inputs = chain1[lower1].Inputs
+		if upper1 == 0 {
+			// Replacing the top of the chain.
+			rule.ReplaceValue(out.Root, chain1[0], segment)
+		} else {
+			chain1[upper1-1].Inputs = replaceInput(chain1[upper1-1].Inputs, chain1[upper1], segment)
+		}
+		dedupeAllChains(out)
+		return out
+	}}
+}
+
+// transformationChains returns all maximal transformation chains of the
+// rule. A chain is a maximal path of transformation operators linked via
+// their first transformation input, starting at a transformation whose
+// parent is not a transformation.
+func transformationChains(r *rule.Rule) [][]*rule.TransformOp {
+	var chains [][]*rule.TransformOp
+	seen := make(map[*rule.TransformOp]bool)
+	for _, top := range r.Transformations() {
+		if seen[top] {
+			continue
+		}
+		var chain []*rule.TransformOp
+		cur := top
+		for cur != nil {
+			seen[cur] = true
+			chain = append(chain, cur)
+			cur = firstTransformInput(cur)
+		}
+		chains = append(chains, chain)
+	}
+	return chains
+}
+
+func firstTransformInput(t *rule.TransformOp) *rule.TransformOp {
+	for _, in := range t.Inputs {
+		if child, ok := in.(*rule.TransformOp); ok {
+			return child
+		}
+	}
+	return nil
+}
+
+// cloneSegment deep-copies a chain segment, re-linking each clone to the
+// next, and returns the topmost and bottom clones. Only the chain-link
+// input (the first transformation input) is dropped per element; side
+// inputs such as the second argument of a concatenate are deep-cloned.
+func cloneSegment(segment []*rule.TransformOp) (top, bottom *rule.TransformOp) {
+	var prev *rule.TransformOp
+	for _, t := range segment {
+		c := &rule.TransformOp{Function: t.Function}
+		chainChild := firstTransformInput(t)
+		for _, in := range t.Inputs {
+			if in == rule.ValueOp(chainChild) {
+				continue // re-linked below (or cut for the segment bottom)
+			}
+			c.Inputs = append(c.Inputs, in.CloneValue())
+		}
+		if prev != nil {
+			prev.Inputs = append(prev.Inputs, c)
+		} else {
+			top = c
+		}
+		prev = c
+	}
+	return top, prev
+}
+
+func replaceInput(inputs []rule.ValueOp, old, new rule.ValueOp) []rule.ValueOp {
+	for i, in := range inputs {
+		if in == old {
+			inputs[i] = new
+		}
+	}
+	return inputs
+}
+
+// dedupeAllChains removes consecutive unary transformations with the same
+// function name everywhere in the rule ("duplicated transformations are
+// removed"). The fixpoint loop handles duplicates created at chain
+// junctions when segments are inserted mid-chain.
+func dedupeAllChains(r *rule.Rule) {
+	for changed := true; changed; {
+		changed = false
+		for _, chain := range transformationChains(r) {
+			for i := 0; i+1 < len(chain); i++ {
+				parent, child := chain[i], chain[i+1]
+				if parent.Function.Name() == child.Function.Name() &&
+					parent.Function.Arity() == 1 && len(child.Inputs) > 0 {
+					parent.Inputs = replaceInput(parent.Inputs, child, child.Inputs[0])
+					changed = true
+					break
+				}
+			}
+			if changed {
+				break
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Threshold crossover (Algorithm 7)
+
+// ThresholdCrossover sets the threshold of one random comparison of the
+// first rule to the average of its threshold and that of a random
+// comparison of the second rule.
+func ThresholdCrossover() CrossoverOp {
+	return crossoverFunc{name: "threshold", fn: func(rng *rand.Rand, r1, r2 *rule.Rule) *rule.Rule {
+		out := r1.Clone()
+		cmps1 := out.Comparisons()
+		cmps2 := r2.Comparisons()
+		if len(cmps1) == 0 || len(cmps2) == 0 {
+			return out
+		}
+		c1 := cmps1[rng.Intn(len(cmps1))]
+		c2 := cmps2[rng.Intn(len(cmps2))]
+		c1.Threshold = 0.5 * (c1.Threshold + c2.Threshold)
+		return out
+	}}
+}
+
+// ---------------------------------------------------------------------------
+// Weight crossover
+
+// WeightCrossover sets the weight of one random comparison or aggregation
+// of the first rule to the (rounded) average of its weight and that of a
+// random operator of the second rule.
+func WeightCrossover() CrossoverOp {
+	return crossoverFunc{name: "weight", fn: func(rng *rand.Rand, r1, r2 *rule.Rule) *rule.Rule {
+		out := r1.Clone()
+		ops1 := out.SimilarityOps()
+		ops2 := r2.SimilarityOps()
+		if len(ops1) == 0 || len(ops2) == 0 {
+			return out
+		}
+		o1 := ops1[rng.Intn(len(ops1))]
+		o2 := ops2[rng.Intn(len(ops2))]
+		avg := (o1.Weight() + o2.Weight() + 1) / 2 // round half up
+		if avg < 1 {
+			avg = 1
+		}
+		o1.SetWeight(avg)
+		return out
+	}}
+}
+
+// ---------------------------------------------------------------------------
+// Subtree crossover (Table 15 baseline)
+
+// SubtreeCrossover is the strongly-typed de-facto standard crossover:
+// a random node of the first rule is replaced by a random node of the same
+// category (similarity vs. value operator) from the second rule.
+func SubtreeCrossover() CrossoverOp {
+	return crossoverFunc{name: "subtree", fn: func(rng *rand.Rand, r1, r2 *rule.Rule) *rule.Rule {
+		out := r1.Clone()
+		// Choose the crossover category proportional to node counts so every
+		// node is an equally likely crossover point.
+		sims1, sims2 := out.SimilarityOps(), r2.SimilarityOps()
+		vals1, vals2 := valueOps(out), valueOps(r2)
+		simPossible := len(sims1) > 0 && len(sims2) > 0
+		valPossible := len(vals1) > 0 && len(vals2) > 0
+		switch {
+		case simPossible && valPossible:
+			if rng.Intn(len(sims1)+len(vals1)) < len(sims1) {
+				crossSim(rng, out, sims1, sims2)
+			} else {
+				crossValue(rng, out, vals1, vals2)
+			}
+		case simPossible:
+			crossSim(rng, out, sims1, sims2)
+		case valPossible:
+			crossValue(rng, out, vals1, vals2)
+		}
+		return out
+	}}
+}
+
+func crossSim(rng *rand.Rand, out *rule.Rule, sims1, sims2 []rule.SimilarityOp) {
+	target := sims1[rng.Intn(len(sims1))]
+	donor := sims2[rng.Intn(len(sims2))].CloneSim()
+	out.Root = rule.ReplaceSim(out.Root, target, donor)
+}
+
+func crossValue(rng *rand.Rand, out *rule.Rule, vals1, vals2 []rule.ValueOp) {
+	target := vals1[rng.Intn(len(vals1))]
+	donor := vals2[rng.Intn(len(vals2))].CloneValue()
+	rule.ReplaceValue(out.Root, target, donor)
+}
+
+func valueOps(r *rule.Rule) []rule.ValueOp {
+	var out []rule.ValueOp
+	for _, c := range r.Comparisons() {
+		rule.WalkValue(c.InputA, func(v rule.ValueOp) { out = append(out, v) })
+		rule.WalkValue(c.InputB, func(v rule.ValueOp) { out = append(out, v) })
+	}
+	return out
+}

@@ -1,0 +1,313 @@
+package genlink
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"genlink/internal/rule"
+	"genlink/internal/similarity"
+	"genlink/internal/transform"
+)
+
+// ruleA builds min(cmp(levenshtein,1)(lowerCase(label), label),
+//
+//	cmp(date,365)(date, date)) — the "first linkage rule" style of Figure 4.
+func ruleA() *rule.Rule {
+	labelCmp := rule.NewComparison(
+		rule.NewTransform(transform.LowerCase(), rule.NewProperty("label")),
+		rule.NewProperty("label"),
+		similarity.Levenshtein(), 1)
+	dateCmp := rule.NewComparison(
+		rule.NewProperty("date"), rule.NewProperty("date"),
+		similarity.Date(), 365)
+	return rule.New(rule.NewAggregation(rule.Min(), labelCmp, dateCmp))
+}
+
+// ruleB builds wmean(cmp(jaccard,0.4)(tokenize(label), tokenize(name)),
+//
+//	cmp(geographic,10km)(coord, point)).
+func ruleB() *rule.Rule {
+	labelCmp := rule.NewComparison(
+		rule.NewTransform(transform.Tokenize(), rule.NewTransform(transform.LowerCase(), rule.NewProperty("label"))),
+		rule.NewTransform(transform.Tokenize(), rule.NewProperty("name")),
+		similarity.Jaccard(), 0.4)
+	geoCmp := rule.NewComparison(
+		rule.NewProperty("coord"), rule.NewProperty("point"),
+		similarity.Geographic(), 10_000)
+	labelCmp.SetWeight(3)
+	geoCmp.SetWeight(5)
+	agg := rule.NewAggregation(rule.WMean(), labelCmp, geoCmp)
+	agg.SetWeight(7)
+	return rule.New(agg)
+}
+
+func checkCrossover(t *testing.T, op CrossoverOp, seeds int) {
+	t.Helper()
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		r1, r2 := ruleA(), ruleB()
+		snap1, snap2 := r1.Compact(), r2.Compact()
+		child := op.Cross(rng, r1, r2)
+		if child == nil {
+			t.Fatalf("%s(seed %d) returned nil", op.Name(), seed)
+		}
+		if err := child.Validate(); err != nil {
+			t.Fatalf("%s(seed %d) produced invalid rule: %v\n%s", op.Name(), seed, err, child.Render())
+		}
+		if r1.Compact() != snap1 {
+			t.Fatalf("%s(seed %d) mutated first parent", op.Name(), seed)
+		}
+		if r2.Compact() != snap2 {
+			t.Fatalf("%s(seed %d) mutated second parent", op.Name(), seed)
+		}
+	}
+}
+
+func TestFunctionCrossoverValid(t *testing.T) {
+	checkCrossover(t, FunctionCrossover(Full), 50)
+}
+
+func TestFunctionCrossoverSwapsMeasure(t *testing.T) {
+	// With single-comparison rules the swap is deterministic.
+	r1 := rule.New(rule.NewComparison(rule.NewProperty("p"), rule.NewProperty("p"), similarity.Levenshtein(), 1))
+	r2 := rule.New(rule.NewComparison(rule.NewProperty("q"), rule.NewProperty("q"), similarity.Jaccard(), 0.5))
+	child := FunctionCrossover(Full).Cross(rand.New(rand.NewSource(1)), r1, r2)
+	if got := child.Comparisons()[0].Measure.Name(); got != "jaccard" {
+		t.Fatalf("measure after function crossover = %q, want jaccard", got)
+	}
+	// The property and threshold of r1 are retained.
+	if child.Comparisons()[0].Threshold != 1 {
+		t.Fatal("function crossover must only exchange the function")
+	}
+}
+
+func TestOperatorsCrossoverValid(t *testing.T) {
+	checkCrossover(t, OperatorsCrossover(Full), 50)
+}
+
+func TestOperatorsCrossoverCombinesComparisons(t *testing.T) {
+	// Over many seeds the child aggregation must draw operands from both
+	// parents at least once (Figure 4 semantics).
+	sawFromBoth := false
+	op := OperatorsCrossover(Full)
+	for seed := int64(0); seed < 100 && !sawFromBoth; seed++ {
+		child := op.Cross(rand.New(rand.NewSource(seed)), ruleA(), ruleB())
+		var hasDate, hasGeo bool
+		for _, c := range child.Comparisons() {
+			switch c.Measure.Name() {
+			case "date":
+				hasDate = true
+			case "geographic":
+				hasGeo = true
+			}
+		}
+		sawFromBoth = hasDate && hasGeo
+	}
+	if !sawFromBoth {
+		t.Fatal("operators crossover never combined comparisons from both parents")
+	}
+}
+
+func TestOperatorsCrossoverNeverEmpty(t *testing.T) {
+	op := OperatorsCrossover(Full)
+	for seed := int64(0); seed < 200; seed++ {
+		child := op.Cross(rand.New(rand.NewSource(seed)), ruleA(), ruleB())
+		for _, agg := range child.Aggregations() {
+			if len(agg.Operands) == 0 {
+				t.Fatalf("seed %d produced empty aggregation", seed)
+			}
+		}
+	}
+}
+
+func TestOperatorsCrossoverWrapsBareComparison(t *testing.T) {
+	// A rule whose root is a bare comparison gets wrapped so recombination
+	// can proceed.
+	r1 := rule.New(rule.NewComparison(rule.NewProperty("p"), rule.NewProperty("p"), similarity.Levenshtein(), 1))
+	child := OperatorsCrossover(Full).Cross(rand.New(rand.NewSource(3)), r1, ruleB())
+	if err := child.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(child.Aggregations()) == 0 {
+		t.Fatal("expected the bare comparison to be wrapped in an aggregation")
+	}
+}
+
+func TestAggregationCrossoverValid(t *testing.T) {
+	checkCrossover(t, AggregationCrossover(), 50)
+}
+
+func TestAggregationCrossoverBuildsHierarchies(t *testing.T) {
+	// Replacing a comparison with r2's root aggregation nests aggregations.
+	op := AggregationCrossover()
+	nested := false
+	for seed := int64(0); seed < 100 && !nested; seed++ {
+		child := op.Cross(rand.New(rand.NewSource(seed)), ruleA(), ruleB())
+		if len(child.Aggregations()) >= 2 {
+			nested = true
+		}
+	}
+	if !nested {
+		t.Fatal("aggregation crossover never built a hierarchy")
+	}
+}
+
+func TestTransformationCrossoverValid(t *testing.T) {
+	checkCrossover(t, TransformationCrossover(), 200)
+}
+
+func TestTransformationCrossoverGrowsChains(t *testing.T) {
+	// r1 has a single-transformation chain; r2 has a two-element chain.
+	// Crossover must at least sometimes produce a longer chain in r1.
+	op := TransformationCrossover()
+	grew := false
+	for seed := int64(0); seed < 200 && !grew; seed++ {
+		child := op.Cross(rand.New(rand.NewSource(seed)), ruleA(), ruleB())
+		if len(child.Transformations()) > 1 {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatal("transformation crossover never grew a chain")
+	}
+}
+
+func TestTransformationCrossoverGraftsOntoBareRule(t *testing.T) {
+	// r1 without transformations must be able to acquire one.
+	bare := rule.New(rule.NewComparison(rule.NewProperty("p"), rule.NewProperty("p"), similarity.Levenshtein(), 1))
+	op := TransformationCrossover()
+	grafted := false
+	for seed := int64(0); seed < 50 && !grafted; seed++ {
+		child := op.Cross(rand.New(rand.NewSource(seed)), bare, ruleB())
+		if err := child.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if len(child.Transformations()) > 0 {
+			grafted = true
+		}
+	}
+	if !grafted {
+		t.Fatal("transformation crossover never grafted onto a bare rule")
+	}
+}
+
+func TestTransformationCrossoverNoDonorIsIdentity(t *testing.T) {
+	bare1 := rule.New(rule.NewComparison(rule.NewProperty("p"), rule.NewProperty("p"), similarity.Levenshtein(), 1))
+	bare2 := rule.New(rule.NewComparison(rule.NewProperty("q"), rule.NewProperty("q"), similarity.Jaccard(), 0.5))
+	child := TransformationCrossover().Cross(rand.New(rand.NewSource(1)), bare1, bare2)
+	if child.Compact() != bare1.Compact() {
+		t.Fatalf("without donor transformations the child should equal r1, got %s", child.Compact())
+	}
+}
+
+func TestTransformationCrossoverDedupes(t *testing.T) {
+	// Both rules use lowerCase chains; crossing them must never produce
+	// lowerCase(lowerCase(...)).
+	mk := func() *rule.Rule {
+		return rule.New(rule.NewComparison(
+			rule.NewTransform(transform.LowerCase(), rule.NewTransform(transform.LowerCase(), rule.NewProperty("p"))),
+			rule.NewProperty("p"),
+			similarity.Levenshtein(), 1))
+	}
+	op := TransformationCrossover()
+	for seed := int64(0); seed < 100; seed++ {
+		child := op.Cross(rand.New(rand.NewSource(seed)), mk(), mk())
+		chains := transformationChains(child)
+		for _, chain := range chains {
+			for i := 0; i+1 < len(chain); i++ {
+				if chain[i].Function.Name() == chain[i+1].Function.Name() {
+					t.Fatalf("seed %d left duplicate %q in chain:\n%s",
+						seed, chain[i].Function.Name(), child.Render())
+				}
+			}
+		}
+	}
+}
+
+func TestThresholdCrossoverAverages(t *testing.T) {
+	r1 := rule.New(rule.NewComparison(rule.NewProperty("p"), rule.NewProperty("p"), similarity.Levenshtein(), 2))
+	r2 := rule.New(rule.NewComparison(rule.NewProperty("q"), rule.NewProperty("q"), similarity.Levenshtein(), 4))
+	child := ThresholdCrossover().Cross(rand.New(rand.NewSource(1)), r1, r2)
+	if got := child.Comparisons()[0].Threshold; got != 3 {
+		t.Fatalf("threshold = %v, want 3 (average)", got)
+	}
+	checkCrossover(t, ThresholdCrossover(), 50)
+}
+
+func TestWeightCrossoverAverages(t *testing.T) {
+	c1 := rule.NewComparison(rule.NewProperty("p"), rule.NewProperty("p"), similarity.Levenshtein(), 1)
+	c1.SetWeight(2)
+	c2 := rule.NewComparison(rule.NewProperty("q"), rule.NewProperty("q"), similarity.Levenshtein(), 1)
+	c2.SetWeight(6)
+	child := WeightCrossover().Cross(rand.New(rand.NewSource(1)), rule.New(c1), rule.New(c2))
+	if got := child.Comparisons()[0].Weight(); got != 4 {
+		t.Fatalf("weight = %v, want 4 (average)", got)
+	}
+	checkCrossover(t, WeightCrossover(), 50)
+}
+
+func TestWeightCrossoverNeverBelowOne(t *testing.T) {
+	c1 := rule.NewComparison(rule.NewProperty("p"), rule.NewProperty("p"), similarity.Levenshtein(), 1)
+	c1.SetWeight(1)
+	c2 := rule.NewComparison(rule.NewProperty("q"), rule.NewProperty("q"), similarity.Levenshtein(), 1)
+	c2.SetWeight(1)
+	child := WeightCrossover().Cross(rand.New(rand.NewSource(1)), rule.New(c1), rule.New(c2))
+	if got := child.Comparisons()[0].Weight(); got < 1 {
+		t.Fatalf("weight = %d, must stay ≥ 1", got)
+	}
+}
+
+func TestSubtreeCrossoverValid(t *testing.T) {
+	checkCrossover(t, SubtreeCrossover(), 200)
+}
+
+func TestOperatorSet(t *testing.T) {
+	full := operatorSet(Config{Representation: Full, Crossover: Specialized})
+	if len(full) != 6 {
+		t.Fatalf("full operator set = %d, want 6 (Section 5.3)", len(full))
+	}
+	names := map[string]bool{}
+	for _, op := range full {
+		names[op.Name()] = true
+	}
+	for _, want := range []string{"function", "operators", "aggregation", "transformation", "threshold", "weight"} {
+		if !names[want] {
+			t.Errorf("missing operator %q", want)
+		}
+	}
+
+	boolean := operatorSet(Config{Representation: Boolean, Crossover: Specialized})
+	for _, op := range boolean {
+		if op.Name() == "transformation" {
+			t.Error("boolean representation must not use transformation crossover")
+		}
+	}
+	linear := operatorSet(Config{Representation: Linear, Crossover: Specialized})
+	for _, op := range linear {
+		if op.Name() == "aggregation" || op.Name() == "transformation" {
+			t.Errorf("linear representation must not use %s crossover", op.Name())
+		}
+	}
+	subtree := operatorSet(Config{Crossover: Subtree})
+	if len(subtree) != 1 || subtree[0].Name() != "subtree" {
+		t.Fatal("subtree mode must use exactly the subtree operator")
+	}
+}
+
+// Property: every operator keeps rules valid and parents untouched for
+// arbitrary seeds.
+func TestAllOperatorsValidityProperty(t *testing.T) {
+	ops := operatorSet(Config{Representation: Full, Crossover: Specialized})
+	ops = append(ops, SubtreeCrossover())
+	f := func(seed int64, opIdx uint8) bool {
+		op := ops[int(opIdx)%len(ops)]
+		rng := rand.New(rand.NewSource(seed))
+		r1, r2 := ruleB(), ruleA()
+		child := op.Cross(rng, r1, r2)
+		return child.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

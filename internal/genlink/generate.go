@@ -1,0 +1,87 @@
+package genlink
+
+import (
+	"math/rand"
+
+	"genlink/internal/rule"
+	"genlink/internal/similarity"
+)
+
+// generator builds random linkage rules as described in Section 5.1:
+// a random aggregation over up to two comparisons drawn from the
+// compatible-property list, with a 50% chance of a random transformation
+// appended to each property.
+type generator struct {
+	cfg   Config
+	pairs []PropertyPair
+	// measureByName resolves the measure recorded in a property pair.
+	measureByName map[string]similarity.Measure
+}
+
+func newGenerator(cfg Config, pairs []PropertyPair) *generator {
+	byName := make(map[string]similarity.Measure, len(cfg.Measures))
+	for _, m := range cfg.Measures {
+		byName[m.Name()] = m
+	}
+	return &generator{cfg: cfg, pairs: pairs, measureByName: byName}
+}
+
+// RandomRule generates one random linkage rule.
+func (g *generator) RandomRule(rng *rand.Rand) *rule.Rule {
+	aggs := g.cfg.Representation.aggregators()
+	agg := aggs[rng.Intn(len(aggs))]
+	n := 1 + rng.Intn(2) // up to two comparisons
+	ops := make([]rule.SimilarityOp, n)
+	for i := range ops {
+		ops[i] = g.randomComparison(rng)
+	}
+	return rule.New(rule.NewAggregation(agg, ops...))
+}
+
+// randomComparison draws a property pair and builds a comparison for it.
+func (g *generator) randomComparison(rng *rand.Rand) rule.SimilarityOp {
+	pair := g.pairs[rng.Intn(len(g.pairs))]
+
+	// Prefer the measure that made the pair compatible; fall back to (or
+	// explore) a random measure half of the time.
+	var m similarity.Measure
+	if pair.Measure != "" && rng.Float64() < 0.5 {
+		m = g.measureByName[pair.Measure]
+	}
+	if m == nil {
+		m = g.cfg.Measures[rng.Intn(len(g.cfg.Measures))]
+	}
+	threshold := randomThreshold(rng, m)
+
+	inA := rule.ValueOp(rule.NewProperty(pair.A))
+	inB := rule.ValueOp(rule.NewProperty(pair.B))
+	if g.cfg.Representation.allowsTransformations() {
+		if rng.Float64() < 0.5 {
+			inA = g.wrapTransform(rng, inA)
+		}
+		if rng.Float64() < 0.5 {
+			inB = g.wrapTransform(rng, inB)
+		}
+	}
+	cmp := rule.NewComparison(inA, inB, m, threshold)
+	cmp.SetWeight(1 + rng.Intn(5))
+	return cmp
+}
+
+// wrapTransform appends a random unary transformation to a value operator.
+func (g *generator) wrapTransform(rng *rand.Rand, in rule.ValueOp) rule.ValueOp {
+	if len(g.cfg.Transforms) == 0 {
+		return in
+	}
+	tr := g.cfg.Transforms[rng.Intn(len(g.cfg.Transforms))]
+	return rule.NewTransform(tr, in)
+}
+
+// InitialPopulation generates the initial population of Algorithm 1.
+func (g *generator) InitialPopulation(rng *rand.Rand, size int) []*rule.Rule {
+	rules := make([]*rule.Rule, size)
+	for i := range rules {
+		rules[i] = g.RandomRule(rng)
+	}
+	return rules
+}

@@ -1,0 +1,86 @@
+package genlink
+
+import "genlink/internal/rule"
+
+// repair enforces the configured representation on a rule after crossover.
+// Under normal operation the operator set cannot violate the restriction,
+// so repair is a cheap defensive pass; it matters when callers feed
+// unrestricted donor rules into a restricted learner.
+func repair(r *rule.Rule, rep Representation) *rule.Rule {
+	if r == nil || r.Root == nil {
+		return r
+	}
+	if !rep.allowsTransformations() {
+		stripTransformations(r)
+	}
+	switch rep {
+	case Linear:
+		flattenLinear(r)
+	case Boolean:
+		forceBooleanAggregators(r)
+	}
+	return r
+}
+
+// stripTransformations replaces every transformation chain with its first
+// property descendant.
+func stripTransformations(r *rule.Rule) {
+	for _, c := range r.Comparisons() {
+		c.InputA = firstProperty(c.InputA)
+		c.InputB = firstProperty(c.InputB)
+	}
+}
+
+func firstProperty(v rule.ValueOp) rule.ValueOp {
+	var found *rule.PropertyOp
+	rule.WalkValue(v, func(op rule.ValueOp) {
+		if found != nil {
+			return
+		}
+		if p, ok := op.(*rule.PropertyOp); ok {
+			found = p
+		}
+	})
+	if found == nil {
+		return v
+	}
+	return found
+}
+
+// flattenLinear rewrites the rule as a single weighted-mean aggregation over
+// all of its comparisons (Definition 9).
+func flattenLinear(r *rule.Rule) {
+	cmps := r.Comparisons()
+	if len(cmps) == 0 {
+		return
+	}
+	if agg, ok := r.Root.(*rule.AggregationOp); ok &&
+		agg.Function.Name() == "wmean" && len(cmps) == len(agg.Operands) {
+		allDirect := true
+		for _, op := range agg.Operands {
+			if _, isCmp := op.(*rule.ComparisonOp); !isCmp {
+				allDirect = false
+				break
+			}
+		}
+		if allDirect {
+			return // already flat
+		}
+	}
+	ops := make([]rule.SimilarityOp, len(cmps))
+	for i, c := range cmps {
+		ops[i] = c
+	}
+	r.Root = rule.NewAggregation(rule.WMean(), ops...)
+}
+
+// forceBooleanAggregators replaces any non-boolean aggregation function
+// with min (conjunction), the canonical boolean combination of
+// Definition 10.
+func forceBooleanAggregators(r *rule.Rule) {
+	for _, agg := range r.Aggregations() {
+		if agg.Function.Name() != "min" && agg.Function.Name() != "max" {
+			agg.Function = rule.Min()
+		}
+	}
+}

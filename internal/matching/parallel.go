@@ -1,0 +1,64 @@
+package matching
+
+import (
+	"runtime"
+	"sync"
+
+	"genlink/internal/entity"
+	"genlink/internal/rule"
+)
+
+// MatchParallel is Match with the source entities partitioned across
+// workers (≤0 means GOMAXPROCS). Results are identical to Match: rule
+// evaluation is pure and the combined link list is re-sorted.
+func MatchParallel(r *rule.Rule, a, b *entity.Source, opts Options, workers int) []Link {
+	opts.normalize(b.Len())
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(a.Entities) {
+		workers = len(a.Entities)
+	}
+	if workers <= 1 {
+		return Match(r, a, b, opts)
+	}
+	idx := BuildIndex(b)
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		links   []Link
+		chunkSz = (len(a.Entities) + workers - 1) / workers
+	)
+	for w := 0; w < workers; w++ {
+		lo := w * chunkSz
+		hi := lo + chunkSz
+		if hi > len(a.Entities) {
+			hi = len(a.Entities)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(chunk []*entity.Entity) {
+			defer wg.Done()
+			var local []Link
+			for _, ea := range chunk {
+				for _, eb := range idx.Candidates(ea, opts.MaxBlockSize) {
+					if ea.ID == eb.ID {
+						continue
+					}
+					if score := r.Evaluate(ea, eb); score >= opts.Threshold {
+						local = append(local, Link{AID: ea.ID, BID: eb.ID, Score: score})
+					}
+				}
+			}
+			mu.Lock()
+			links = append(links, local...)
+			mu.Unlock()
+		}(a.Entities[lo:hi])
+	}
+	wg.Wait()
+	sortLinks(links)
+	return links
+}

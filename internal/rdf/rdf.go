@@ -1,0 +1,236 @@
+// Package rdf provides a minimal N-Triples parser and serializer plus
+// entity materialization, the substrate the paper's four RDF datasets
+// (Sider/DrugBank, NYT, LinkedMDB, DBpedia/DrugBank) round-trip through.
+//
+// Only the N-Triples subset needed for entity data is supported: IRIs,
+// plain and typed literals with \-escapes, and blank nodes. Comments and
+// blank lines are skipped.
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"genlink/internal/entity"
+)
+
+// Triple is one RDF statement.
+type Triple struct {
+	// Subject is an IRI or blank node label (without angle brackets).
+	Subject string
+	// Predicate is an IRI.
+	Predicate string
+	// Object is an IRI, blank node label or literal value.
+	Object string
+	// IsLiteral marks Object as a literal (its lexical form, unescaped).
+	IsLiteral bool
+}
+
+// Parse reads all triples from an N-Triples document.
+func Parse(r io.Reader) ([]Triple, error) {
+	var triples []Triple
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+		}
+		triples = append(triples, t)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("rdf: %w", err)
+	}
+	return triples, nil
+}
+
+func parseLine(line string) (Triple, error) {
+	var t Triple
+	rest := line
+
+	subj, rest, err := parseTerm(rest)
+	if err != nil {
+		return t, fmt.Errorf("subject: %w", err)
+	}
+	if subj.literal {
+		return t, fmt.Errorf("subject must not be a literal")
+	}
+	t.Subject = subj.value
+
+	pred, rest, err := parseTerm(rest)
+	if err != nil {
+		return t, fmt.Errorf("predicate: %w", err)
+	}
+	if pred.literal || strings.HasPrefix(pred.value, "_:") {
+		return t, fmt.Errorf("predicate must be an IRI")
+	}
+	t.Predicate = pred.value
+
+	obj, rest, err := parseTerm(rest)
+	if err != nil {
+		return t, fmt.Errorf("object: %w", err)
+	}
+	t.Object = obj.value
+	t.IsLiteral = obj.literal
+
+	rest = strings.TrimSpace(rest)
+	if !strings.HasPrefix(rest, ".") {
+		return t, fmt.Errorf("missing terminating dot")
+	}
+	return t, nil
+}
+
+type term struct {
+	value   string
+	literal bool
+}
+
+func parseTerm(s string) (term, string, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasPrefix(s, "<"):
+		end := strings.Index(s, ">")
+		if end < 0 {
+			return term{}, s, fmt.Errorf("unterminated IRI")
+		}
+		return term{value: s[1:end]}, s[end+1:], nil
+	case strings.HasPrefix(s, "_:"):
+		end := strings.IndexAny(s, " \t")
+		if end < 0 {
+			end = len(s)
+		}
+		return term{value: s[:end]}, s[end:], nil
+	case strings.HasPrefix(s, `"`):
+		var b strings.Builder
+		i := 1
+		for i < len(s) {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return term{}, s, fmt.Errorf("dangling escape")
+				}
+				i++
+				switch s[i] {
+				case 't':
+					b.WriteByte('\t')
+				case 'n':
+					b.WriteByte('\n')
+				case 'r':
+					b.WriteByte('\r')
+				case '"':
+					b.WriteByte('"')
+				case '\\':
+					b.WriteByte('\\')
+				default:
+					return term{}, s, fmt.Errorf("unsupported escape \\%c", s[i])
+				}
+				i++
+				continue
+			}
+			if c == '"' {
+				rest := s[i+1:]
+				// Skip optional language tag or datatype.
+				if strings.HasPrefix(rest, "@") {
+					end := strings.IndexAny(rest, " \t")
+					if end < 0 {
+						end = len(rest)
+					}
+					rest = rest[end:]
+				} else if strings.HasPrefix(rest, "^^") {
+					rest = rest[2:]
+					if !strings.HasPrefix(rest, "<") {
+						return term{}, s, fmt.Errorf("datatype must be an IRI")
+					}
+					end := strings.Index(rest, ">")
+					if end < 0 {
+						return term{}, s, fmt.Errorf("unterminated datatype IRI")
+					}
+					rest = rest[end+1:]
+				}
+				return term{value: b.String(), literal: true}, rest, nil
+			}
+			b.WriteByte(c)
+			i++
+		}
+		return term{}, s, fmt.Errorf("unterminated literal")
+	default:
+		return term{}, s, fmt.Errorf("unexpected term %q", s)
+	}
+}
+
+// escapeLiteral escapes a literal for serialization.
+func escapeLiteral(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	s = strings.ReplaceAll(s, "\r", `\r`)
+	s = strings.ReplaceAll(s, "\t", `\t`)
+	return s
+}
+
+// Write serializes triples as N-Triples.
+func Write(w io.Writer, triples []Triple) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range triples {
+		subj := "<" + t.Subject + ">"
+		if strings.HasPrefix(t.Subject, "_:") {
+			subj = t.Subject
+		}
+		var obj string
+		if t.IsLiteral {
+			obj = `"` + escapeLiteral(t.Object) + `"`
+		} else if strings.HasPrefix(t.Object, "_:") {
+			obj = t.Object
+		} else {
+			obj = "<" + t.Object + ">"
+		}
+		if _, err := fmt.Fprintf(bw, "%s <%s> %s .\n", subj, t.Predicate, obj); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ToSource groups triples by subject into an entity source. Predicates
+// become property names; both literal and IRI objects become values.
+func ToSource(name string, triples []Triple) *entity.Source {
+	src := entity.NewSource(name)
+	byID := make(map[string]*entity.Entity)
+	for _, t := range triples {
+		e, ok := byID[t.Subject]
+		if !ok {
+			e = entity.New(t.Subject)
+			byID[t.Subject] = e
+			src.Add(e)
+		}
+		e.Add(t.Predicate, t.Object)
+	}
+	return src
+}
+
+// FromSource serializes an entity source to triples (deterministic order).
+func FromSource(src *entity.Source) []Triple {
+	var triples []Triple
+	for _, e := range src.Entities {
+		props := e.PropertyNames()
+		for _, p := range props {
+			values := append([]string(nil), e.Values(p)...)
+			sort.Strings(values)
+			for _, v := range values {
+				triples = append(triples, Triple{
+					Subject: e.ID, Predicate: p, Object: v, IsLiteral: true,
+				})
+			}
+		}
+	}
+	return triples
+}

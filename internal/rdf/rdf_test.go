@@ -1,0 +1,143 @@
+package rdf
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"genlink/internal/entity"
+)
+
+const sample = `# a comment
+<http://a.org/e1> <http://xmlns.com/foaf/0.1/name> "Alice" .
+<http://a.org/e1> <http://a.org/knows> <http://a.org/e2> .
+
+<http://a.org/e2> <http://xmlns.com/foaf/0.1/name> "Bob \"Bobby\"" .
+_:b1 <http://a.org/label> "blank node subject"@en .
+<http://a.org/e3> <http://a.org/age> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .
+`
+
+func TestParse(t *testing.T) {
+	triples, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 5 {
+		t.Fatalf("triples = %d, want 5", len(triples))
+	}
+	if triples[0].Subject != "http://a.org/e1" || triples[0].Object != "Alice" || !triples[0].IsLiteral {
+		t.Fatalf("triple 0 = %+v", triples[0])
+	}
+	if triples[1].IsLiteral {
+		t.Fatal("IRI object marked literal")
+	}
+	if triples[2].Object != `Bob "Bobby"` {
+		t.Fatalf("escape handling: %q", triples[2].Object)
+	}
+	if triples[3].Subject != "_:b1" {
+		t.Fatalf("blank node subject: %q", triples[3].Subject)
+	}
+	if triples[4].Object != "42" {
+		t.Fatalf("typed literal: %q", triples[4].Object)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`<http://a> <http://b>`,                 // missing object + dot
+		`"literal" <http://b> <http://c> .`,     // literal subject
+		`<http://a> "literal" <http://c> .`,     // literal predicate
+		`<http://a> _:b <http://c> .`,           // blank predicate
+		`<http://a> <http://b> <http://c>`,      // missing dot
+		`<http://a> <http://b> "unterminated .`, // unterminated literal
+		`<http://a <http://b> <http://c> .`,     // unterminated IRI
+		`<http://a> <http://b> "x"^^string .`,   // bad datatype
+		`<http://a> <http://b> "bad\qescape" .`, // unsupported escape
+		`junk`,                                  // garbage
+	}
+	for i, line := range bad {
+		if _, err := Parse(strings.NewReader(line)); err == nil {
+			t.Errorf("case %d: Parse accepted %q", i, line)
+		}
+	}
+}
+
+func TestWriteParsePreservesTriples(t *testing.T) {
+	triples, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, triples); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(triples, back) {
+		t.Fatalf("round trip changed triples:\n%v\n%v", triples, back)
+	}
+}
+
+func TestToSource(t *testing.T) {
+	triples, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ToSource("test", triples)
+	if src.Len() != 4 {
+		t.Fatalf("entities = %d, want 4", src.Len())
+	}
+	e1 := src.Get("http://a.org/e1")
+	if e1 == nil {
+		t.Fatal("e1 missing")
+	}
+	if got := e1.Values("http://xmlns.com/foaf/0.1/name"); len(got) != 1 || got[0] != "Alice" {
+		t.Fatalf("e1 name = %v", got)
+	}
+}
+
+func TestFromSourceRoundTrip(t *testing.T) {
+	src := entity.NewSource("s")
+	e := entity.New("http://x/e1")
+	e.Add("http://x/name", "with \"quotes\" and\nnewline")
+	e.Add("http://x/name", "second value")
+	src.Add(e)
+	triples := FromSource(src)
+	var buf bytes.Buffer
+	if err := Write(&buf, triples); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := ToSource("s", parsed)
+	got := back.Get("http://x/e1").Values("http://x/name")
+	want := []string{"second value", "with \"quotes\" and\nnewline"} // sorted
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("values after round trip = %v", got)
+	}
+}
+
+// Property: any literal value survives write→parse.
+func TestLiteralEscapeRoundTripProperty(t *testing.T) {
+	f := func(value string) bool {
+		t1 := []Triple{{Subject: "http://s", Predicate: "http://p", Object: value, IsLiteral: true}}
+		var buf bytes.Buffer
+		if err := Write(&buf, t1); err != nil {
+			return false
+		}
+		back, err := Parse(&buf)
+		if err != nil || len(back) != 1 {
+			return false
+		}
+		return back[0].Object == value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package rule
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render returns an ASCII tree of the rule in the style of the paper's rule
+// figures (Figures 2, 7 and 8): aggregations and comparisons as inner nodes,
+// transformation chains and properties as leaves.
+func (r *Rule) Render() string {
+	if r == nil || r.Root == nil {
+		return "(empty rule)\n"
+	}
+	var b strings.Builder
+	renderSim(&b, r.Root, "", true, true)
+	return b.String()
+}
+
+func renderSim(b *strings.Builder, op SimilarityOp, prefix string, isLast, isRoot bool) {
+	branch, childPrefix := treeBranch(prefix, isLast, isRoot)
+	switch o := op.(type) {
+	case *AggregationOp:
+		fmt.Fprintf(b, "%sAggregation[%s, weight=%d]\n", branch, o.Function.Name(), o.W)
+		for i, child := range o.Operands {
+			renderSim(b, child, childPrefix, i == len(o.Operands)-1, false)
+		}
+	case *ComparisonOp:
+		fmt.Fprintf(b, "%sComparison[%s, θ=%.3g, weight=%d]\n", branch, o.Measure.Name(), o.Threshold, o.W)
+		renderValue(b, o.InputA, childPrefix, false)
+		renderValue(b, o.InputB, childPrefix, true)
+	default:
+		fmt.Fprintf(b, "%s%T\n", branch, op)
+	}
+}
+
+func renderValue(b *strings.Builder, op ValueOp, prefix string, isLast bool) {
+	branch, childPrefix := treeBranch(prefix, isLast, false)
+	switch o := op.(type) {
+	case *PropertyOp:
+		fmt.Fprintf(b, "%sProperty[%s]\n", branch, o.Property)
+	case *TransformOp:
+		fmt.Fprintf(b, "%sTransform[%s]\n", branch, o.Function.Name())
+		for i, child := range o.Inputs {
+			renderValue(b, child, childPrefix, i == len(o.Inputs)-1)
+		}
+	default:
+		fmt.Fprintf(b, "%s%T\n", branch, op)
+	}
+}
+
+func treeBranch(prefix string, isLast, isRoot bool) (branch, childPrefix string) {
+	if isRoot {
+		return "", ""
+	}
+	if isLast {
+		return prefix + "└── ", prefix + "    "
+	}
+	return prefix + "├── ", prefix + "│   "
+}
+
+// Compact returns a one-line functional notation of the rule, matching the
+// operator examples in Section 3, e.g.
+//
+//	min(cmp(levenshtein,1)(lowerCase(label), label), cmp(geographic,50)(coord, point))
+func (r *Rule) Compact() string {
+	if r == nil || r.Root == nil {
+		return "∅"
+	}
+	return compactSim(r.Root)
+}
+
+func compactSim(op SimilarityOp) string {
+	switch o := op.(type) {
+	case *AggregationOp:
+		parts := make([]string, len(o.Operands))
+		for i, child := range o.Operands {
+			parts[i] = compactSim(child)
+		}
+		return fmt.Sprintf("%s(%s)", o.Function.Name(), strings.Join(parts, ", "))
+	case *ComparisonOp:
+		return fmt.Sprintf("cmp(%s,%.3g)(%s, %s)",
+			o.Measure.Name(), o.Threshold, compactValue(o.InputA), compactValue(o.InputB))
+	default:
+		return fmt.Sprintf("%T", op)
+	}
+}
+
+func compactValue(op ValueOp) string {
+	switch o := op.(type) {
+	case *PropertyOp:
+		return o.Property
+	case *TransformOp:
+		parts := make([]string, len(o.Inputs))
+		for i, child := range o.Inputs {
+			parts[i] = compactValue(child)
+		}
+		return fmt.Sprintf("%s(%s)", o.Function.Name(), strings.Join(parts, ", "))
+	default:
+		return fmt.Sprintf("%T", op)
+	}
+}
+
+// String implements fmt.Stringer with the compact notation.
+func (r *Rule) String() string { return r.Compact() }

@@ -1,0 +1,101 @@
+package rule
+
+import "sort"
+
+// Simplify returns a semantically equivalent but structurally smaller copy
+// of the rule:
+//
+//   - aggregations with a single operand are replaced by that operand
+//     (min/max/wmean of one score is the score itself),
+//   - nested aggregations with the same min/max function are flattened
+//     (min(a, min(b, c)) = min(a, b, c)); wmean is not flattened because
+//     nested weighted means weight differently,
+//   - structurally identical siblings under min/max are deduplicated
+//     (idempotence), keeping the first occurrence.
+//
+// Learned rules often carry such redundancies; Simplify makes them easier
+// to read without changing any similarity score.
+func (r *Rule) Simplify() *Rule {
+	if r == nil || r.Root == nil {
+		return &Rule{}
+	}
+	return &Rule{Root: simplifySim(r.Root.CloneSim())}
+}
+
+func simplifySim(op SimilarityOp) SimilarityOp {
+	agg, ok := op.(*AggregationOp)
+	if !ok {
+		return op
+	}
+	// Simplify children first.
+	for i, child := range agg.Operands {
+		agg.Operands[i] = simplifySim(child)
+	}
+	name := agg.Function.Name()
+	if name == "min" || name == "max" {
+		// Flatten same-function nested aggregations.
+		var flat []SimilarityOp
+		for _, child := range agg.Operands {
+			if childAgg, ok := child.(*AggregationOp); ok && childAgg.Function.Name() == name {
+				flat = append(flat, childAgg.Operands...)
+				continue
+			}
+			flat = append(flat, child)
+		}
+		// Deduplicate identical siblings (idempotent functions).
+		seen := make(map[string]bool, len(flat))
+		var unique []SimilarityOp
+		for _, child := range flat {
+			key := compactSim(child)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			unique = append(unique, child)
+		}
+		agg.Operands = unique
+	}
+	if len(agg.Operands) == 1 {
+		// A single-operand aggregation is the identity for min, max and
+		// wmean alike; hoist the child but keep the aggregation's weight
+		// so a parent weighted mean is unaffected.
+		child := agg.Operands[0]
+		child.SetWeight(agg.W)
+		return child
+	}
+	return agg
+}
+
+// Canonical returns a canonical compact form of the rule: operands of
+// commutative aggregations (min/max) are sorted so structurally equal
+// rules serialize identically regardless of operand order. wmean operands
+// are left in place (their order is irrelevant too, but sorting must keep
+// weights attached — they are, since weights live on the operands).
+func (r *Rule) Canonical() string {
+	if r == nil || r.Root == nil {
+		return "∅"
+	}
+	c := r.Clone()
+	canonicalizeSim(c.Root)
+	return c.Compact()
+}
+
+func canonicalizeSim(op SimilarityOp) {
+	agg, ok := op.(*AggregationOp)
+	if !ok {
+		return
+	}
+	for _, child := range agg.Operands {
+		canonicalizeSim(child)
+	}
+	sort.SliceStable(agg.Operands, func(i, j int) bool {
+		return compactSim(agg.Operands[i]) < compactSim(agg.Operands[j])
+	})
+}
+
+// EquivalentTo reports whether two rules have the same canonical form.
+// This is a structural (syntactic-up-to-commutativity) check, not a
+// semantic equivalence decision.
+func (r *Rule) EquivalentTo(other *Rule) bool {
+	return r.Canonical() == other.Canonical()
+}

@@ -1,0 +1,168 @@
+package rule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"genlink/internal/entity"
+	"genlink/internal/similarity"
+)
+
+func cmpOn(p string, threshold float64) *ComparisonOp {
+	return NewComparison(NewProperty(p), NewProperty(p), similarity.Levenshtein(), threshold)
+}
+
+func TestSimplifySingleOperandAggregation(t *testing.T) {
+	inner := cmpOn("x", 1)
+	agg := NewAggregation(Min(), inner)
+	agg.SetWeight(7)
+	r := New(agg)
+	s := r.Simplify()
+	c, ok := s.Root.(*ComparisonOp)
+	if !ok {
+		t.Fatalf("Simplify did not hoist single operand: %s", s.Compact())
+	}
+	if c.Weight() != 7 {
+		t.Fatalf("hoisted operand lost aggregation weight: %d", c.Weight())
+	}
+}
+
+func TestSimplifyFlattensNestedMin(t *testing.T) {
+	r := New(NewAggregation(Min(),
+		cmpOn("a", 1),
+		NewAggregation(Min(), cmpOn("b", 1), cmpOn("c", 1))))
+	s := r.Simplify()
+	aggs := s.Aggregations()
+	if len(aggs) != 1 {
+		t.Fatalf("nested min not flattened: %s", s.Compact())
+	}
+	if len(aggs[0].Operands) != 3 {
+		t.Fatalf("flattened min has %d operands", len(aggs[0].Operands))
+	}
+}
+
+func TestSimplifyDoesNotFlattenWMean(t *testing.T) {
+	r := New(NewAggregation(WMean(),
+		cmpOn("a", 1),
+		NewAggregation(WMean(), cmpOn("b", 1), cmpOn("c", 1))))
+	s := r.Simplify()
+	if len(s.Aggregations()) != 2 {
+		t.Fatalf("wmean must not be flattened (weights differ): %s", s.Compact())
+	}
+}
+
+func TestSimplifyDoesNotFlattenMixedFunctions(t *testing.T) {
+	r := New(NewAggregation(Min(),
+		cmpOn("a", 1),
+		NewAggregation(Max(), cmpOn("b", 1), cmpOn("c", 1))))
+	s := r.Simplify()
+	if len(s.Aggregations()) != 2 {
+		t.Fatalf("min(max(...)) must be preserved: %s", s.Compact())
+	}
+}
+
+func TestSimplifyDeduplicatesSiblings(t *testing.T) {
+	r := New(NewAggregation(Max(), cmpOn("a", 1), cmpOn("a", 1), cmpOn("b", 2)))
+	s := r.Simplify()
+	if got := len(s.Aggregations()[0].Operands); got != 2 {
+		t.Fatalf("duplicate siblings not removed: %d operands in %s", got, s.Compact())
+	}
+}
+
+func TestSimplifyPreservesOriginal(t *testing.T) {
+	r := New(NewAggregation(Min(), cmpOn("a", 1)))
+	before := r.Compact()
+	r.Simplify()
+	if r.Compact() != before {
+		t.Fatal("Simplify mutated the original rule")
+	}
+}
+
+func TestSimplifyEmpty(t *testing.T) {
+	if (&Rule{}).Simplify().Root != nil {
+		t.Fatal("empty rule should simplify to empty")
+	}
+	var nilRule *Rule
+	if nilRule.Simplify().Root != nil {
+		t.Fatal("nil rule should simplify to empty")
+	}
+}
+
+func TestCanonicalOrderIndependence(t *testing.T) {
+	r1 := New(NewAggregation(Min(), cmpOn("a", 1), cmpOn("b", 2)))
+	r2 := New(NewAggregation(Min(), cmpOn("b", 2), cmpOn("a", 1)))
+	if r1.Canonical() != r2.Canonical() {
+		t.Fatalf("canonical forms differ:\n%s\n%s", r1.Canonical(), r2.Canonical())
+	}
+	if !r1.EquivalentTo(r2) {
+		t.Fatal("EquivalentTo should hold for reordered operands")
+	}
+	r3 := New(NewAggregation(Min(), cmpOn("a", 1), cmpOn("c", 2)))
+	if r1.EquivalentTo(r3) {
+		t.Fatal("different rules should not be equivalent")
+	}
+	if (&Rule{}).Canonical() != "∅" {
+		t.Fatal("empty canonical")
+	}
+}
+
+func TestCanonicalDoesNotMutate(t *testing.T) {
+	r := New(NewAggregation(Min(), cmpOn("b", 2), cmpOn("a", 1)))
+	before := r.Compact()
+	r.Canonical()
+	if r.Compact() != before {
+		t.Fatal("Canonical mutated the rule")
+	}
+}
+
+// Property: Simplify never changes any similarity score.
+func TestSimplifySemanticsPreservedProperty(t *testing.T) {
+	props := []string{"name", "label", "date", "coord"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := New(randomRule(rng, 3))
+		s := r.Simplify()
+		// Evaluate on random entities.
+		for trial := 0; trial < 5; trial++ {
+			a, b := entity.New("a"), entity.New("b")
+			for _, p := range props {
+				if rng.Float64() < 0.8 {
+					a.Add(p, randomValue2(rng))
+				}
+				if rng.Float64() < 0.8 {
+					b.Add(p, randomValue2(rng))
+				}
+			}
+			if diff := r.Evaluate(a, b) - s.Evaluate(a, b); diff > 1e-9 || diff < -1e-9 {
+				t.Logf("rule: %s\nsimplified: %s", r.Compact(), s.Compact())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomValue2(rng *rand.Rand) string {
+	words := []string{"berlin", "52.5 13.4", "2001-05-02", "alpha beta", "x"}
+	return words[rng.Intn(len(words))]
+}
+
+// Property: Simplify output still validates and is never larger.
+func TestSimplifyShrinksProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := New(randomRule(rng, 3))
+		s := r.Simplify()
+		if s.Validate() != nil {
+			return false
+		}
+		return s.OperatorCount() <= r.OperatorCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package rule
+
+// WalkSim visits every similarity operator of the subtree rooted at op in
+// pre-order.
+func WalkSim(op SimilarityOp, visit func(SimilarityOp)) {
+	if op == nil {
+		return
+	}
+	visit(op)
+	if agg, ok := op.(*AggregationOp); ok {
+		for _, child := range agg.Operands {
+			WalkSim(child, visit)
+		}
+	}
+}
+
+// WalkValue visits every value operator of the subtree rooted at op in
+// pre-order.
+func WalkValue(op ValueOp, visit func(ValueOp)) {
+	if op == nil {
+		return
+	}
+	visit(op)
+	if tr, ok := op.(*TransformOp); ok {
+		for _, child := range tr.Inputs {
+			WalkValue(child, visit)
+		}
+	}
+}
+
+// Comparisons returns all comparison operators of the rule in pre-order.
+func (r *Rule) Comparisons() []*ComparisonOp {
+	var out []*ComparisonOp
+	if r == nil {
+		return nil
+	}
+	WalkSim(r.Root, func(op SimilarityOp) {
+		if c, ok := op.(*ComparisonOp); ok {
+			out = append(out, c)
+		}
+	})
+	return out
+}
+
+// Aggregations returns all aggregation operators of the rule in pre-order.
+func (r *Rule) Aggregations() []*AggregationOp {
+	var out []*AggregationOp
+	if r == nil {
+		return nil
+	}
+	WalkSim(r.Root, func(op SimilarityOp) {
+		if a, ok := op.(*AggregationOp); ok {
+			out = append(out, a)
+		}
+	})
+	return out
+}
+
+// SimilarityOps returns all similarity operators (aggregations and
+// comparisons) of the rule in pre-order.
+func (r *Rule) SimilarityOps() []SimilarityOp {
+	var out []SimilarityOp
+	if r == nil {
+		return nil
+	}
+	WalkSim(r.Root, func(op SimilarityOp) { out = append(out, op) })
+	return out
+}
+
+// Transformations returns all transformation operators of the rule in
+// pre-order (across all comparisons, input A before input B).
+func (r *Rule) Transformations() []*TransformOp {
+	var out []*TransformOp
+	for _, c := range r.Comparisons() {
+		for _, in := range []ValueOp{c.InputA, c.InputB} {
+			WalkValue(in, func(v ValueOp) {
+				if t, ok := v.(*TransformOp); ok {
+					out = append(out, t)
+				}
+			})
+		}
+	}
+	return out
+}
+
+// Properties returns all property operators of the rule in pre-order.
+func (r *Rule) Properties() []*PropertyOp {
+	var out []*PropertyOp
+	for _, c := range r.Comparisons() {
+		for _, in := range []ValueOp{c.InputA, c.InputB} {
+			WalkValue(in, func(v ValueOp) {
+				if p, ok := v.(*PropertyOp); ok {
+					out = append(out, p)
+				}
+			})
+		}
+	}
+	return out
+}
+
+// ReplaceSim returns a copy-free in-place replacement: it substitutes the
+// similarity operator old with new within the tree rooted at root and
+// returns the resulting root (which is new itself when old == root).
+// The rule must have been cloned by the caller if the original matters.
+func ReplaceSim(root, old, new SimilarityOp) SimilarityOp {
+	if root == old {
+		return new
+	}
+	WalkSim(root, func(op SimilarityOp) {
+		if agg, ok := op.(*AggregationOp); ok {
+			for i, child := range agg.Operands {
+				if child == old {
+					agg.Operands[i] = new
+				}
+			}
+		}
+	})
+	return root
+}
+
+// ReplaceValue substitutes the value operator old with new within the value
+// subtrees of the similarity tree rooted at root. It returns true if a
+// replacement happened.
+func ReplaceValue(root SimilarityOp, old, new ValueOp) bool {
+	replaced := false
+	WalkSim(root, func(op SimilarityOp) {
+		c, ok := op.(*ComparisonOp)
+		if !ok {
+			return
+		}
+		if c.InputA == old {
+			c.InputA = new
+			replaced = true
+		}
+		if c.InputB == old {
+			c.InputB = new
+			replaced = true
+		}
+		for _, in := range []ValueOp{c.InputA, c.InputB} {
+			WalkValue(in, func(v ValueOp) {
+				if tr, ok := v.(*TransformOp); ok {
+					for i, child := range tr.Inputs {
+						if child == old {
+							tr.Inputs[i] = new
+							replaced = true
+						}
+					}
+				}
+			})
+		}
+	})
+	return replaced
+}

@@ -1,0 +1,485 @@
+// Package similarity implements the distance measures of Table 2 of the
+// paper (levenshtein, jaccard, numeric, geographic, date) plus a set of
+// additional measures commonly shipped with the Silk framework (jaro,
+// jaroWinkler, dice, cosine token distance, equality).
+//
+// Every measure implements Measure: a distance over two value *sets*
+// (Definition 7 compares value operators, which yield sets). Set semantics
+// follow Silk: the distance between two sets is the minimum distance over
+// the cross product, i.e. two entities are as close as their closest pair
+// of values. An empty set on either side yields +Inf (no evidence).
+package similarity
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Measure computes a non-negative distance between two value sets.
+// Smaller is more similar; 0 means identical.
+type Measure interface {
+	// Name returns the registry name, e.g. "levenshtein".
+	Name() string
+	// Distance returns the distance between the two value sets.
+	// It returns +Inf when either set is empty or no value is comparable.
+	Distance(a, b []string) float64
+}
+
+// Func adapts a plain function over single values to a Measure with
+// min-over-cross-product set semantics.
+type Func struct {
+	MeasureName string
+	Single      func(a, b string) float64
+}
+
+// Name implements Measure.
+func (f Func) Name() string { return f.MeasureName }
+
+// Distance implements Measure with min-over-pairs semantics.
+func (f Func) Distance(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.Inf(1)
+	}
+	best := math.Inf(1)
+	for _, va := range a {
+		for _, vb := range b {
+			if d := f.Single(va, vb); d < best {
+				best = d
+				if best == 0 {
+					return 0
+				}
+			}
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------------
+// Levenshtein
+
+// Levenshtein returns the edit-distance measure of Table 2.
+func Levenshtein() Measure {
+	return Func{MeasureName: "levenshtein", Single: levenshtein}
+}
+
+// levenshtein computes the classic edit distance in O(len(a)·len(b)) time
+// and O(min) space, operating on runes so multi-byte input is handled.
+func levenshtein(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return float64(len(rb))
+	}
+	if len(rb) == 0 {
+		return float64(len(ra))
+	}
+	if len(ra) > len(rb) {
+		ra, rb = rb, ra
+	}
+	prev := make([]int, len(ra)+1)
+	cur := make([]int, len(ra)+1)
+	for i := range prev {
+		prev[i] = i
+	}
+	for j := 1; j <= len(rb); j++ {
+		cur[0] = j
+		for i := 1; i <= len(ra); i++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[i] = minInt(prev[i]+1, cur[i-1]+1, prev[i-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return float64(prev[len(ra)])
+}
+
+// NormalizedLevenshtein returns levenshtein divided by the length of the
+// longer string, yielding a distance in [0,1]. Useful with thresholds < 1.
+func NormalizedLevenshtein() Measure {
+	return Func{MeasureName: "normLevenshtein", Single: func(a, b string) float64 {
+		la, lb := len([]rune(a)), len([]rune(b))
+		n := maxInt(la, lb)
+		if n == 0 {
+			return 0
+		}
+		return levenshtein(a, b) / float64(n)
+	}}
+}
+
+// ---------------------------------------------------------------------------
+// Jaccard
+
+// Jaccard returns the token-set Jaccard distance of Table 2:
+// 1 − |A∩B| / |A∪B| where A and B are the two value sets themselves
+// (each value is one set element). This matches Silk's Jaccard over the
+// multi-valued results of a tokenizer transformation.
+type jaccardMeasure struct{}
+
+// Jaccard returns the Jaccard distance coefficient measure.
+func Jaccard() Measure { return jaccardMeasure{} }
+
+func (jaccardMeasure) Name() string { return "jaccard" }
+
+func (jaccardMeasure) Distance(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.Inf(1)
+	}
+	setA := make(map[string]struct{}, len(a))
+	for _, v := range a {
+		setA[v] = struct{}{}
+	}
+	setB := make(map[string]struct{}, len(b))
+	for _, v := range b {
+		setB[v] = struct{}{}
+	}
+	inter := 0
+	for v := range setA {
+		if _, ok := setB[v]; ok {
+			inter++
+		}
+	}
+	union := len(setA) + len(setB) - inter
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/float64(union)
+}
+
+// Dice returns the Sørensen–Dice distance over value sets: 1 − 2|A∩B|/(|A|+|B|).
+type diceMeasure struct{}
+
+// Dice returns the Dice coefficient distance measure.
+func Dice() Measure { return diceMeasure{} }
+
+func (diceMeasure) Name() string { return "dice" }
+
+func (diceMeasure) Distance(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.Inf(1)
+	}
+	setA := make(map[string]struct{}, len(a))
+	for _, v := range a {
+		setA[v] = struct{}{}
+	}
+	setB := make(map[string]struct{}, len(b))
+	for _, v := range b {
+		setB[v] = struct{}{}
+	}
+	inter := 0
+	for v := range setA {
+		if _, ok := setB[v]; ok {
+			inter++
+		}
+	}
+	den := len(setA) + len(setB)
+	if den == 0 {
+		return 0
+	}
+	return 1 - 2*float64(inter)/float64(den)
+}
+
+// Cosine returns the cosine distance between the two value sets interpreted
+// as binary term vectors: 1 − |A∩B| / sqrt(|A|·|B|).
+type cosineMeasure struct{}
+
+// Cosine returns the token cosine distance measure.
+func Cosine() Measure { return cosineMeasure{} }
+
+func (cosineMeasure) Name() string { return "cosine" }
+
+func (cosineMeasure) Distance(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.Inf(1)
+	}
+	setA := make(map[string]struct{}, len(a))
+	for _, v := range a {
+		setA[v] = struct{}{}
+	}
+	setB := make(map[string]struct{}, len(b))
+	for _, v := range b {
+		setB[v] = struct{}{}
+	}
+	inter := 0
+	for v := range setA {
+		if _, ok := setB[v]; ok {
+			inter++
+		}
+	}
+	den := math.Sqrt(float64(len(setA)) * float64(len(setB)))
+	if den == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/den
+}
+
+// ---------------------------------------------------------------------------
+// Numeric
+
+// Numeric returns the absolute numeric difference of Table 2. Values that
+// do not parse as floats are ignored; if no pair parses the distance is +Inf.
+func Numeric() Measure {
+	return Func{MeasureName: "numeric", Single: func(a, b string) float64 {
+		fa, errA := strconv.ParseFloat(strings.TrimSpace(a), 64)
+		fb, errB := strconv.ParseFloat(strings.TrimSpace(b), 64)
+		if errA != nil || errB != nil {
+			return math.Inf(1)
+		}
+		return math.Abs(fa - fb)
+	}}
+}
+
+// ---------------------------------------------------------------------------
+// Geographic
+
+// earthRadiusMeters is the mean Earth radius used by the haversine formula.
+const earthRadiusMeters = 6371000.0
+
+// Geographic returns the geographical distance in meters between two
+// coordinate values (Table 2). Coordinates are expected in "lat lon" or
+// "lat,lon" form in degrees; unparsable values yield +Inf.
+func Geographic() Measure {
+	return Func{MeasureName: "geographic", Single: func(a, b string) float64 {
+		latA, lonA, okA := ParseCoord(a)
+		latB, lonB, okB := ParseCoord(b)
+		if !okA || !okB {
+			return math.Inf(1)
+		}
+		return Haversine(latA, lonA, latB, lonB)
+	}}
+}
+
+// ParseCoord parses "lat lon", "lat,lon" or "POINT(lon lat)" degree strings.
+func ParseCoord(s string) (lat, lon float64, ok bool) {
+	s = strings.TrimSpace(s)
+	if rest, found := strings.CutPrefix(s, "POINT("); found {
+		rest = strings.TrimSuffix(rest, ")")
+		parts := strings.Fields(rest)
+		if len(parts) != 2 {
+			return 0, 0, false
+		}
+		// WKT order is lon lat.
+		lonV, err1 := strconv.ParseFloat(parts[0], 64)
+		latV, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil {
+			return 0, 0, false
+		}
+		return latV, lonV, true
+	}
+	s = strings.ReplaceAll(s, ",", " ")
+	parts := strings.Fields(s)
+	if len(parts) != 2 {
+		return 0, 0, false
+	}
+	latV, err1 := strconv.ParseFloat(parts[0], 64)
+	lonV, err2 := strconv.ParseFloat(parts[1], 64)
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	return latV, lonV, true
+}
+
+// Haversine returns the great-circle distance in meters between two points
+// given in degrees.
+func Haversine(lat1, lon1, lat2, lon2 float64) float64 {
+	const degToRad = math.Pi / 180
+	phi1, phi2 := lat1*degToRad, lat2*degToRad
+	dPhi := (lat2 - lat1) * degToRad
+	dLambda := (lon2 - lon1) * degToRad
+	sinPhi := math.Sin(dPhi / 2)
+	sinLambda := math.Sin(dLambda / 2)
+	h := sinPhi*sinPhi + math.Cos(phi1)*math.Cos(phi2)*sinLambda*sinLambda
+	return 2 * earthRadiusMeters * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// ---------------------------------------------------------------------------
+// Date
+
+// dateLayouts are attempted in order when parsing date values.
+var dateLayouts = []string{
+	"2006-01-02",
+	"2006/01/02",
+	"02.01.2006",
+	"January 2, 2006",
+	"Jan 2, 2006",
+	"2006",
+}
+
+// ParseDate parses a date value using the supported layouts.
+func ParseDate(s string) (time.Time, bool) {
+	s = strings.TrimSpace(s)
+	for _, layout := range dateLayouts {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// Date returns the distance between two dates in days (Table 2).
+func Date() Measure {
+	return Func{MeasureName: "date", Single: func(a, b string) float64 {
+		ta, okA := ParseDate(a)
+		tb, okB := ParseDate(b)
+		if !okA || !okB {
+			return math.Inf(1)
+		}
+		return math.Abs(ta.Sub(tb).Hours() / 24)
+	}}
+}
+
+// ---------------------------------------------------------------------------
+// Jaro / Jaro-Winkler
+
+// Jaro returns 1 − Jaro similarity as a distance in [0,1].
+func Jaro() Measure {
+	return Func{MeasureName: "jaro", Single: func(a, b string) float64 {
+		return 1 - jaroSim(a, b)
+	}}
+}
+
+// JaroWinkler returns 1 − Jaro-Winkler similarity (prefix scale 0.1, max
+// prefix 4) as a distance in [0,1].
+func JaroWinkler() Measure {
+	return Func{MeasureName: "jaroWinkler", Single: func(a, b string) float64 {
+		j := jaroSim(a, b)
+		ra, rb := []rune(a), []rune(b)
+		prefix := 0
+		for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+			prefix++
+		}
+		return 1 - (j + float64(prefix)*0.1*(1-j))
+	}}
+}
+
+func jaroSim(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := maxInt(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, la)
+	matchB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := maxInt(0, i-window)
+		hi := minInt2(lb-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if !matchB[j] && ra[i] == rb[j] {
+				matchA[i] = true
+				matchB[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// ---------------------------------------------------------------------------
+// Equality
+
+// Equality returns 0 for identical strings and 1 otherwise.
+func Equality() Measure {
+	return Func{MeasureName: "equality", Single: func(a, b string) float64 {
+		if a == b {
+			return 0
+		}
+		return 1
+	}}
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+// registry holds all measures by name so rules can be (de)serialized and the
+// learner can draw random measures.
+var registry = map[string]func() Measure{
+	"levenshtein":     Levenshtein,
+	"normLevenshtein": NormalizedLevenshtein,
+	"jaccard":         Jaccard,
+	"dice":            Dice,
+	"cosine":          Cosine,
+	"numeric":         Numeric,
+	"geographic":      Geographic,
+	"date":            Date,
+	"jaro":            Jaro,
+	"jaroWinkler":     JaroWinkler,
+	"equality":        Equality,
+}
+
+// ByName returns the measure registered under name, or nil.
+func ByName(name string) Measure {
+	if ctor, ok := registry[name]; ok {
+		return ctor()
+	}
+	return nil
+}
+
+// Names returns all registered measure names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Core returns the five measures used in all paper experiments (Table 2).
+func Core() []Measure {
+	return []Measure{Levenshtein(), Jaccard(), Numeric(), Geographic(), Date()}
+}
+
+func minInt(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func minInt2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,153 @@
+package tabular
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"genlink/internal/entity"
+)
+
+const csvSample = `id,name,phone,type
+r1,Ritz Cafe,030 111,french
+r2,Luigi's,,italian
+r3,"Bar, The",030 333,
+`
+
+func TestReadCSV(t *testing.T) {
+	src, err := ReadCSV(strings.NewReader(csvSample), "restaurants", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Len() != 3 {
+		t.Fatalf("entities = %d", src.Len())
+	}
+	r1 := src.Get("r1")
+	if got := r1.Values("name"); len(got) != 1 || got[0] != "Ritz Cafe" {
+		t.Fatalf("r1 name = %v", got)
+	}
+	// Empty cells stay unset (coverage semantics).
+	if src.Get("r2").Has("phone") {
+		t.Fatal("empty cell should be unset")
+	}
+	if src.Get("r3").Has("type") {
+		t.Fatal("empty cell should be unset")
+	}
+	// Quoted comma survives.
+	if got := src.Get("r3").Values("name")[0]; got != "Bar, The" {
+		t.Fatalf("quoted value = %q", got)
+	}
+}
+
+func TestReadCSVIDColumn(t *testing.T) {
+	doc := "name,key\nAlice,k1\nBob,k2\n"
+	src, err := ReadCSV(strings.NewReader(doc), "s", Options{IDColumn: "key"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Get("k1") == nil || src.Get("k2") == nil {
+		t.Fatal("id column not honored")
+	}
+	if _, err := ReadCSV(strings.NewReader(doc), "s", Options{IDColumn: "ghost"}); err == nil {
+		t.Fatal("unknown id column should error")
+	}
+}
+
+func TestReadCSVMultiValue(t *testing.T) {
+	doc := "id,synonyms\nd1,aspirin|acetylsalicylic acid\n"
+	src, err := ReadCSV(strings.NewReader(doc), "s", Options{ValueSeparator: "|"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := src.Get("d1").Values("synonyms")
+	if !reflect.DeepEqual(got, []string{"aspirin", "acetylsalicylic acid"}) {
+		t.Fatalf("multi values = %v", got)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), "s", Options{}); err == nil {
+		t.Fatal("empty document should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("id,name\n,anon\n"), "s", Options{}); err == nil {
+		t.Fatal("empty id should error")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	src := entity.NewSource("s")
+	e1 := entity.New("e1")
+	e1.Add("name", "Alice")
+	e1.Add("tags", "x")
+	e1.Add("tags", "y")
+	e2 := entity.New("e2")
+	e2.Add("name", "Bob")
+	src.Add(e1)
+	src.Add(e2)
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, src, "|"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "s", Options{ValueSeparator: "|"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("entities after round trip = %d", back.Len())
+	}
+	if got := back.Get("e1").Values("tags"); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Fatalf("tags = %v", got)
+	}
+	if back.Get("e2").Has("tags") {
+		t.Fatal("e2 should not gain tags")
+	}
+}
+
+func TestReadLinks(t *testing.T) {
+	doc := "idA,idB,label\na1,b1,1\na2,b2,0\na3,b3,match\n"
+	links, err := ReadLinks(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 3 {
+		t.Fatalf("links = %d", len(links))
+	}
+	if !links[0].Match || links[1].Match || !links[2].Match {
+		t.Fatalf("labels wrong: %+v", links)
+	}
+}
+
+func TestReadLinksNoHeaderTwoColumns(t *testing.T) {
+	doc := "a1,b1\na2,b2\n"
+	links, err := ReadLinks(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 2 || !links[0].Match {
+		t.Fatalf("links = %+v", links)
+	}
+}
+
+func TestWriteLinksRoundTrip(t *testing.T) {
+	links := []entity.Link{
+		{AID: "a2", BID: "b2", Match: false},
+		{AID: "a1", BID: "b1", Match: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteLinks(&buf, links); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLinks(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("links = %d", len(back))
+	}
+	// Output is sorted by AID.
+	if back[0].AID != "a1" || !back[0].Match || back[1].Match {
+		t.Fatalf("round trip = %+v", back)
+	}
+}

@@ -1,0 +1,265 @@
+// Package transform implements the data transformation functions of Table 1
+// of the paper (lowerCase, tokenize, stripUriPrefix, concatenate) plus the
+// additional functions shipped with Silk that the DBpediaDrugBank experiment
+// discussion mentions (stem, replace, ...).
+//
+// A transformation maps one or more value sets to a single value set
+// (Definition 6: f_t : Σ^n → Σ).
+package transform
+
+import (
+	"sort"
+	"strings"
+)
+
+// Transformation converts the value sets produced by n input operators into
+// a single value set.
+type Transformation interface {
+	// Name returns the registry name, e.g. "lowerCase".
+	Name() string
+	// Arity returns the number of input value sets the transformation
+	// expects; -1 means variadic (≥1).
+	Arity() int
+	// Apply computes the output value set.
+	Apply(inputs ...[]string) []string
+}
+
+// Func adapts a function to a Transformation.
+type Func struct {
+	TransformName string
+	In            int
+	F             func(inputs ...[]string) []string
+}
+
+// Name implements Transformation.
+func (f Func) Name() string { return f.TransformName }
+
+// Arity implements Transformation.
+func (f Func) Arity() int { return f.In }
+
+// Apply implements Transformation.
+func (f Func) Apply(inputs ...[]string) []string { return f.F(inputs...) }
+
+// mapEach applies fn to every value of the first input set.
+func mapEach(fn func(string) string) func(...[]string) []string {
+	return func(inputs ...[]string) []string {
+		if len(inputs) == 0 {
+			return nil
+		}
+		out := make([]string, 0, len(inputs[0]))
+		for _, v := range inputs[0] {
+			out = append(out, fn(v))
+		}
+		return out
+	}
+}
+
+// LowerCase converts all values to lower case (Table 1).
+func LowerCase() Transformation {
+	return Func{TransformName: "lowerCase", In: 1, F: mapEach(strings.ToLower)}
+}
+
+// UpperCase converts all values to upper case.
+func UpperCase() Transformation {
+	return Func{TransformName: "upperCase", In: 1, F: mapEach(strings.ToUpper)}
+}
+
+// Trim removes surrounding whitespace from all values.
+func Trim() Transformation {
+	return Func{TransformName: "trim", In: 1, F: mapEach(strings.TrimSpace)}
+}
+
+// Tokenize splits all values into whitespace-separated tokens (Table 1).
+// The output set is the union of tokens over all input values.
+func Tokenize() Transformation {
+	return Func{TransformName: "tokenize", In: 1, F: func(inputs ...[]string) []string {
+		if len(inputs) == 0 {
+			return nil
+		}
+		var out []string
+		for _, v := range inputs[0] {
+			out = append(out, strings.Fields(v)...)
+		}
+		return out
+	}}
+}
+
+// StripURIPrefix removes the URI prefix up to and including the last '/' or
+// '#' from each value (Table 1), e.g.
+// "http://dbpedia.org/resource/Berlin" → "Berlin". Underscores are replaced
+// with spaces to recover human-readable labels, mirroring Silk's behaviour.
+func StripURIPrefix() Transformation {
+	return Func{TransformName: "stripUriPrefix", In: 1, F: mapEach(func(v string) string {
+		cut := strings.LastIndexAny(v, "/#")
+		if cut >= 0 && cut+1 < len(v) {
+			v = v[cut+1:]
+		}
+		return strings.ReplaceAll(v, "_", " ")
+	})}
+}
+
+// Concatenate joins the values of its input operators pairwise with a
+// space (Table 1). Like Silk's concat it is variadic: the value sets are
+// folded left to right over the cross product, which for the common
+// single-valued case reduces to simple concatenation
+// ("firstName" + " " + "lastName").
+func Concatenate() Transformation {
+	return Func{TransformName: "concatenate", In: -1, F: func(inputs ...[]string) []string {
+		if len(inputs) == 0 {
+			return nil
+		}
+		out := append([]string(nil), inputs[0]...)
+		for _, next := range inputs[1:] {
+			if len(next) == 0 {
+				continue
+			}
+			if len(out) == 0 {
+				out = append([]string(nil), next...)
+				continue
+			}
+			combined := make([]string, 0, len(out)*len(next))
+			for _, va := range out {
+				for _, vb := range next {
+					combined = append(combined, va+" "+vb)
+				}
+			}
+			out = combined
+		}
+		return out
+	}}
+}
+
+// RemovePunctuation strips all ASCII punctuation characters from each value.
+func RemovePunctuation() Transformation {
+	return Func{TransformName: "removePunct", In: 1, F: mapEach(func(v string) string {
+		var b strings.Builder
+		b.Grow(len(v))
+		for _, r := range v {
+			if !isPunct(r) {
+				b.WriteRune(r)
+			}
+		}
+		return b.String()
+	})}
+}
+
+func isPunct(r rune) bool {
+	return strings.ContainsRune(`!"#$%&'()*+,-./:;<=>?@[\]^_`+"`"+`{|}~`, r)
+}
+
+// NumbersOnly keeps only digit characters of each value — useful for
+// normalizing phone numbers and identifiers such as CAS numbers.
+func NumbersOnly() Transformation {
+	return Func{TransformName: "numbersOnly", In: 1, F: mapEach(func(v string) string {
+		var b strings.Builder
+		for _, r := range v {
+			if r >= '0' && r <= '9' {
+				b.WriteRune(r)
+			}
+		}
+		return b.String()
+	})}
+}
+
+// Stem applies a lightweight English suffix stemmer (a reduced Porter
+// stemmer handling plural/-ed/-ing/-ly forms), matching the "stem" operator
+// shown in Figure 6 of the paper.
+func Stem() Transformation {
+	return Func{TransformName: "stem", In: 1, F: mapEach(stemWord)}
+}
+
+func stemWord(w string) string {
+	lw := strings.ToLower(w)
+	switch {
+	case strings.HasSuffix(lw, "sses"):
+		return w[:len(w)-2]
+	case strings.HasSuffix(lw, "ies"):
+		return w[:len(w)-2]
+	case strings.HasSuffix(lw, "ss"):
+		return w
+	case strings.HasSuffix(lw, "s") && len(w) > 3:
+		return w[:len(w)-1]
+	case strings.HasSuffix(lw, "ing") && len(w) > 5:
+		return w[:len(w)-3]
+	case strings.HasSuffix(lw, "ed") && len(w) > 4:
+		return w[:len(w)-2]
+	case strings.HasSuffix(lw, "ly") && len(w) > 4:
+		return w[:len(w)-2]
+	default:
+		return w
+	}
+}
+
+// Replace substitutes all occurrences of old with new in each value. It is
+// the kind of "complex transformation such as replacing specific parts of
+// the strings" that the hand-written DBpediaDrugBank rule uses (§6.2).
+func Replace(old, new string) Transformation {
+	return Func{TransformName: "replace", In: 1, F: mapEach(func(v string) string {
+		return strings.ReplaceAll(v, old, new)
+	})}
+}
+
+// Distinct removes duplicate values while preserving first-seen order.
+func Distinct() Transformation {
+	return Func{TransformName: "distinct", In: 1, F: func(inputs ...[]string) []string {
+		if len(inputs) == 0 {
+			return nil
+		}
+		seen := make(map[string]struct{}, len(inputs[0]))
+		var out []string
+		for _, v := range inputs[0] {
+			if _, ok := seen[v]; ok {
+				continue
+			}
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+		return out
+	}}
+}
+
+// registry maps names to constructors so rules serialize/deserialize and the
+// learner can draw random transformations.
+var registry = map[string]func() Transformation{
+	"lowerCase":      LowerCase,
+	"upperCase":      UpperCase,
+	"trim":           Trim,
+	"tokenize":       Tokenize,
+	"stripUriPrefix": StripURIPrefix,
+	"concatenate":    Concatenate,
+	"removePunct":    RemovePunctuation,
+	"numbersOnly":    NumbersOnly,
+	"stem":           Stem,
+	"distinct":       Distinct,
+}
+
+// ByName returns the transformation registered under name, or nil.
+// Parameterized transformations (replace) are not in the registry.
+func ByName(name string) Transformation {
+	if ctor, ok := registry[name]; ok {
+		return ctor()
+	}
+	return nil
+}
+
+// Names returns all registered transformation names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Core returns the four transformations used in all paper experiments
+// (Table 1).
+func Core() []Transformation {
+	return []Transformation{LowerCase(), Tokenize(), StripURIPrefix(), Concatenate()}
+}
+
+// Unary returns the core transformations with arity 1 — the candidates for
+// random chain appending during rule generation.
+func Unary() []Transformation {
+	return []Transformation{LowerCase(), Tokenize(), StripURIPrefix()}
+}

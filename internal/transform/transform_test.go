@@ -1,0 +1,249 @@
+package transform
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestLowerCase(t *testing.T) {
+	got := LowerCase().Apply([]string{"iPod", "IPOD"})
+	if !reflect.DeepEqual(got, []string{"ipod", "ipod"}) {
+		t.Fatalf("lowerCase = %v", got)
+	}
+}
+
+func TestUpperCase(t *testing.T) {
+	got := UpperCase().Apply([]string{"abc"})
+	if !reflect.DeepEqual(got, []string{"ABC"}) {
+		t.Fatalf("upperCase = %v", got)
+	}
+}
+
+func TestTrim(t *testing.T) {
+	got := Trim().Apply([]string{"  x  ", "\ty\n"})
+	if !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Fatalf("trim = %v", got)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize().Apply([]string{"hello  world", "foo"})
+	if !reflect.DeepEqual(got, []string{"hello", "world", "foo"}) {
+		t.Fatalf("tokenize = %v", got)
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if got := Tokenize().Apply([]string{}); len(got) != 0 {
+		t.Fatalf("tokenize empty = %v", got)
+	}
+	if got := Tokenize().Apply(); got != nil {
+		t.Fatalf("tokenize no inputs = %v", got)
+	}
+}
+
+func TestStripURIPrefix(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"http://dbpedia.org/resource/Berlin", "Berlin"},
+		{"http://dbpedia.org/resource/New_York_City", "New York City"},
+		{"http://example.org/onto#Thing", "Thing"},
+		{"plainvalue", "plainvalue"},
+		{"http://example.org/", "http://example.org/"}, // trailing slash: nothing after it
+	}
+	tr := StripURIPrefix()
+	for _, c := range cases {
+		if got := tr.Apply([]string{c.in}); got[0] != c.want {
+			t.Errorf("stripUriPrefix(%q) = %q, want %q", c.in, got[0], c.want)
+		}
+	}
+}
+
+func TestConcatenate(t *testing.T) {
+	got := Concatenate().Apply([]string{"John"}, []string{"Doe"})
+	if !reflect.DeepEqual(got, []string{"John Doe"}) {
+		t.Fatalf("concatenate = %v", got)
+	}
+	// Cross product for multi-valued inputs.
+	got = Concatenate().Apply([]string{"a", "b"}, []string{"x"})
+	if !reflect.DeepEqual(got, []string{"a x", "b x"}) {
+		t.Fatalf("concatenate cross = %v", got)
+	}
+	// One empty side passes the other side through.
+	got = Concatenate().Apply(nil, []string{"solo"})
+	if !reflect.DeepEqual(got, []string{"solo"}) {
+		t.Fatalf("concatenate nil-left = %v", got)
+	}
+	got = Concatenate().Apply([]string{"solo"}, nil)
+	if !reflect.DeepEqual(got, []string{"solo"}) {
+		t.Fatalf("concatenate nil-right = %v", got)
+	}
+	// Single input degenerates to identity.
+	got = Concatenate().Apply([]string{"only"})
+	if !reflect.DeepEqual(got, []string{"only"}) {
+		t.Fatalf("concatenate single input = %v", got)
+	}
+	if got := Concatenate().Apply(); got != nil {
+		t.Fatalf("concatenate no inputs = %v", got)
+	}
+}
+
+func TestRemovePunctuation(t *testing.T) {
+	got := RemovePunctuation().Apply([]string{"a.b,c-d's"})
+	if !reflect.DeepEqual(got, []string{"abcds"}) {
+		t.Fatalf("removePunct = %v", got)
+	}
+}
+
+func TestNumbersOnly(t *testing.T) {
+	got := NumbersOnly().Apply([]string{"(030) 123-456"})
+	if !reflect.DeepEqual(got, []string{"030123456"}) {
+		t.Fatalf("numbersOnly = %v", got)
+	}
+}
+
+func TestStem(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"matches", "matche"}, // plain s-rule drops the final s
+		{"cities", "citi"},
+		{"running", "runn"},
+		{"walked", "walk"},
+		{"quickly", "quick"},
+		{"glass", "glass"},
+		{"dog", "dog"},
+	}
+	tr := Stem()
+	for _, c := range cases {
+		if got := tr.Apply([]string{c.in}); got[0] != c.want {
+			t.Errorf("stem(%q) = %q, want %q", c.in, got[0], c.want)
+		}
+	}
+}
+
+func TestReplace(t *testing.T) {
+	got := Replace("-", " ").Apply([]string{"a-b-c"})
+	if !reflect.DeepEqual(got, []string{"a b c"}) {
+		t.Fatalf("replace = %v", got)
+	}
+	if Replace("x", "y").Name() != "replace" {
+		t.Fatal("replace name")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	got := Distinct().Apply([]string{"a", "b", "a", "c", "b"})
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("distinct = %v", got)
+	}
+	if got := Distinct().Apply(); got != nil {
+		t.Fatalf("distinct no inputs = %v", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	for _, name := range Names() {
+		tr := ByName(name)
+		if tr == nil {
+			t.Fatalf("ByName(%q) = nil", name)
+		}
+		if tr.Name() != name {
+			t.Fatalf("transformation %q reports name %q", name, tr.Name())
+		}
+	}
+	if ByName("no-such") != nil {
+		t.Fatal("unknown name should yield nil")
+	}
+	if len(Core()) != 4 {
+		t.Fatalf("Core() = %d, want 4 (Table 1)", len(Core()))
+	}
+	for _, tr := range Unary() {
+		if tr.Arity() != 1 {
+			t.Fatalf("Unary() contains %q with arity %d", tr.Name(), tr.Arity())
+		}
+	}
+}
+
+func TestArities(t *testing.T) {
+	if Concatenate().Arity() != -1 {
+		t.Fatal("concatenate should be variadic")
+	}
+	if LowerCase().Arity() != 1 {
+		t.Fatal("lowerCase arity")
+	}
+}
+
+func TestConcatenateVariadic(t *testing.T) {
+	got := Concatenate().Apply([]string{"a"}, []string{"b"}, []string{"c"})
+	if !reflect.DeepEqual(got, []string{"a b c"}) {
+		t.Fatalf("concatenate 3 inputs = %v", got)
+	}
+}
+
+// Property: lowerCase is idempotent.
+func TestLowerCaseIdempotent(t *testing.T) {
+	tr := LowerCase()
+	f := func(vs []string) bool {
+		once := tr.Apply(vs)
+		twice := tr.Apply(once)
+		return reflect.DeepEqual(once, twice)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tokenize is idempotent (tokens contain no whitespace).
+func TestTokenizeIdempotent(t *testing.T) {
+	tr := Tokenize()
+	f := func(vs []string) bool {
+		once := tr.Apply(vs)
+		twice := tr.Apply(once)
+		if len(once) == 0 && len(twice) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(once, twice)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distinct output has no duplicates and is a subset of input.
+func TestDistinctProperty(t *testing.T) {
+	tr := Distinct()
+	f := func(vs []string) bool {
+		out := tr.Apply(vs)
+		seen := make(map[string]struct{})
+		inSet := make(map[string]struct{})
+		for _, v := range vs {
+			inSet[v] = struct{}{}
+		}
+		for _, v := range out {
+			if _, dup := seen[v]; dup {
+				return false
+			}
+			seen[v] = struct{}{}
+			if _, ok := inSet[v]; !ok {
+				return false
+			}
+		}
+		return len(seen) == len(inSet)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transformations never panic on arbitrary input and mapEach
+// preserves cardinality.
+func TestMapEachCardinality(t *testing.T) {
+	for _, tr := range []Transformation{LowerCase(), UpperCase(), Trim(), StripURIPrefix(), RemovePunctuation(), NumbersOnly(), Stem()} {
+		tr := tr
+		f := func(vs []string) bool {
+			return len(tr.Apply(vs)) == len(vs)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", tr.Name(), err)
+		}
+	}
+}

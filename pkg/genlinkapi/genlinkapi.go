@@ -1,0 +1,189 @@
+// Package genlinkapi is the stable public facade of the GenLink library.
+//
+// It re-exports the pieces a downstream user needs to learn and execute
+// expressive linkage rules:
+//
+//   - building data sources and reference links (entities, CSV, N-Triples)
+//   - learning a linkage rule with the GenLink genetic programming
+//     algorithm (Isele & Bizer, PVLDB 5(11), 2012)
+//   - evaluating rules (precision, recall, F-measure, MCC)
+//   - executing rules over whole sources with token blocking
+//   - the six synthetic evaluation datasets of the paper
+//
+// Quickstart:
+//
+//	ds := genlinkapi.Dataset("Restaurant", 1)
+//	cfg := genlinkapi.DefaultConfig()
+//	cfg.PopulationSize = 100
+//	result, err := genlinkapi.Learn(cfg, ds.Refs)
+//	fmt.Println(result.Best.Render())
+package genlinkapi
+
+import (
+	"io"
+
+	"genlink/internal/datagen"
+	"genlink/internal/entity"
+	"genlink/internal/evalx"
+	"genlink/internal/genlink"
+	"genlink/internal/matching"
+	"genlink/internal/rdf"
+	"genlink/internal/rule"
+	"genlink/internal/tabular"
+)
+
+// Core data model.
+type (
+	// Entity is a record with multi-valued properties.
+	Entity = entity.Entity
+	// Source is a collection of entities.
+	Source = entity.Source
+	// Pair is an (a, b) entity pair.
+	Pair = entity.Pair
+	// Link is a reference link between entity ids.
+	Link = entity.Link
+	// ReferenceLinks bundles positive and negative reference links.
+	ReferenceLinks = entity.ReferenceLinks
+	// DataSet is a complete matching task.
+	DataSet = entity.Dataset
+)
+
+// Rule representation.
+type (
+	// Rule is an expressive linkage rule (operator tree).
+	Rule = rule.Rule
+	// PropertyOp retrieves property values.
+	PropertyOp = rule.PropertyOp
+	// TransformOp applies a data transformation.
+	TransformOp = rule.TransformOp
+	// ComparisonOp compares two value operators.
+	ComparisonOp = rule.ComparisonOp
+	// AggregationOp combines similarity operators.
+	AggregationOp = rule.AggregationOp
+)
+
+// Learner types.
+type (
+	// Config holds the GenLink parameters (Table 4 defaults).
+	Config = genlink.Config
+	// Result is a learning outcome.
+	Result = genlink.Result
+	// PropertyPair is a discovered compatible property pair.
+	PropertyPair = genlink.PropertyPair
+)
+
+// Evaluation types.
+type (
+	// Confusion is a binary confusion matrix over reference links.
+	Confusion = evalx.Confusion
+)
+
+// Matching types.
+type (
+	// MatchOptions tunes whole-source rule execution.
+	MatchOptions = matching.Options
+	// MatchedLink is a scored link produced by rule execution.
+	MatchedLink = matching.Link
+)
+
+// NewEntity returns an entity with the given id.
+func NewEntity(id string) *Entity { return entity.New(id) }
+
+// NewSource returns an empty data source.
+func NewSource(name string) *Source { return entity.NewSource(name) }
+
+// Resolve materializes reference links against two sources.
+func Resolve(a, b *Source, links []Link) (*ReferenceLinks, error) {
+	return entity.Resolve(a, b, links)
+}
+
+// GenerateNegatives derives negative links by cross-pairing positives
+// (Section 6.1 of the paper).
+func GenerateNegatives(positive []Pair) []Pair {
+	return entity.GenerateNegatives(positive)
+}
+
+// DefaultConfig returns the paper's Table 4 parameters.
+func DefaultConfig() Config { return genlink.DefaultConfig() }
+
+// Learn runs the GenLink algorithm on training links.
+func Learn(cfg Config, train *ReferenceLinks) (*Result, error) {
+	return genlink.NewLearner(cfg).Learn(train)
+}
+
+// LearnWithValidation additionally tracks validation F-measure per
+// iteration.
+func LearnWithValidation(cfg Config, train, val *ReferenceLinks) (*Result, error) {
+	return genlink.NewLearner(cfg).LearnWithValidation(train, val)
+}
+
+// Evaluate computes the confusion matrix of a rule over reference links.
+func Evaluate(r *Rule, refs *ReferenceLinks) Confusion {
+	return evalx.Evaluate(r, refs)
+}
+
+// Match executes a rule over two whole sources with token blocking.
+func Match(r *Rule, a, b *Source, opts MatchOptions) []MatchedLink {
+	return matching.Match(r, a, b, opts)
+}
+
+// Dataset generates one of the paper's six evaluation datasets by name
+// (Cora, Restaurant, SiderDrugBank, NYT, LinkedMDB, DBpediaDrugBank).
+// It returns nil for unknown names.
+func Dataset(name string, seed int64) *DataSet {
+	gen := datagen.ByName(name)
+	if gen == nil {
+		return nil
+	}
+	return gen(seed)
+}
+
+// DatasetNames lists the six paper datasets in Table 5 order.
+func DatasetNames() []string { return datagen.Names() }
+
+// ParseRuleJSON decodes a rule from JSON.
+func ParseRuleJSON(data []byte) (*Rule, error) { return rule.ParseJSON(data) }
+
+// ParseRuleXML decodes a rule from XML.
+func ParseRuleXML(data []byte) (*Rule, error) { return rule.ParseXML(data) }
+
+// ReadCSV loads a CSV document into a source.
+func ReadCSV(r io.Reader, name string, opts tabular.Options) (*Source, error) {
+	return tabular.ReadCSV(r, name, opts)
+}
+
+// CSVOptions configures CSV loading.
+type CSVOptions = tabular.Options
+
+// ReadLinksCSV loads reference links from CSV (idA,idB,label).
+func ReadLinksCSV(r io.Reader) ([]Link, error) { return tabular.ReadLinks(r) }
+
+// ReadNTriples loads an N-Triples document into a source.
+func ReadNTriples(r io.Reader, name string) (*Source, error) {
+	triples, err := rdf.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return rdf.ToSource(name, triples), nil
+}
+
+// PRPoint is one operating point of a precision-recall curve.
+type PRPoint = evalx.PRPoint
+
+// PRCurve sweeps the link threshold over the scores a rule assigns to the
+// reference links and returns one operating point per distinct score.
+func PRCurve(r *Rule, refs *ReferenceLinks) []PRPoint {
+	return evalx.PRCurve(r, refs)
+}
+
+// FilterOneToOne reduces a link set to a one-to-one matching by greedy
+// score-descending assignment.
+func FilterOneToOne(links []MatchedLink) []MatchedLink {
+	return matching.FilterOneToOne(links)
+}
+
+// WriteSameAs serializes links as owl:sameAs N-Triples (Silk's output
+// format).
+func WriteSameAs(w io.Writer, links []MatchedLink) error {
+	return matching.WriteSameAs(w, links)
+}

@@ -1,0 +1,151 @@
+package genlinkapi_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"genlink/pkg/genlinkapi"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	ds := genlinkapi.Dataset("Restaurant", 1)
+	if ds == nil {
+		t.Fatal("Restaurant dataset missing")
+	}
+	cfg := genlinkapi.DefaultConfig()
+	cfg.PopulationSize = 60
+	cfg.MaxIterations = 8
+	cfg.Seed = 3
+
+	refs := &genlinkapi.ReferenceLinks{
+		Positive: ds.Refs.Positive[:60],
+		Negative: ds.Refs.Negative[:60],
+	}
+	res, err := genlinkapi.Learn(cfg, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestTrainF1 < 0.9 {
+		t.Fatalf("facade learning F1 = %v", res.BestTrainF1)
+	}
+
+	conf := genlinkapi.Evaluate(res.Best, refs)
+	if conf.FMeasure() != res.BestTrainF1 {
+		t.Fatalf("Evaluate disagrees with learner: %v vs %v", conf.FMeasure(), res.BestTrainF1)
+	}
+
+	// Rule serialization through the facade.
+	data, err := json.Marshal(res.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := genlinkapi.ParseRuleJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Compact() != res.Best.Compact() {
+		t.Fatal("rule did not survive facade round trip")
+	}
+}
+
+func TestFacadeMatch(t *testing.T) {
+	a := genlinkapi.NewSource("a")
+	b := genlinkapi.NewSource("b")
+	ea := genlinkapi.NewEntity("a1")
+	ea.Add("name", "identical")
+	a.Add(ea)
+	eb := genlinkapi.NewEntity("b1")
+	eb.Add("name", "identical")
+	b.Add(eb)
+
+	rule, err := genlinkapi.ParseRuleJSON([]byte(`{
+		"kind":"comparison","function":"levenshtein","threshold":1,
+		"children":[
+			{"kind":"property","property":"name"},
+			{"kind":"property","property":"name"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := genlinkapi.Match(rule, a, b, genlinkapi.MatchOptions{})
+	if len(links) != 1 || links[0].AID != "a1" || links[0].BID != "b1" {
+		t.Fatalf("links = %+v", links)
+	}
+}
+
+func TestFacadeLoaders(t *testing.T) {
+	src, err := genlinkapi.ReadCSV(strings.NewReader("id,name\nx1,Alice\n"), "csv", genlinkapi.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Get("x1") == nil {
+		t.Fatal("CSV loading failed")
+	}
+	nt, err := genlinkapi.ReadNTriples(strings.NewReader(
+		`<http://x/e1> <http://x/name> "Alice" .`), "rdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nt.Get("http://x/e1") == nil {
+		t.Fatal("N-Triples loading failed")
+	}
+	links, err := genlinkapi.ReadLinksCSV(strings.NewReader("a1,b1,1\n"))
+	if err != nil || len(links) != 1 {
+		t.Fatalf("links = %v, %v", links, err)
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	if len(genlinkapi.DatasetNames()) != 6 {
+		t.Fatal("expected six datasets")
+	}
+	if genlinkapi.Dataset("nope", 1) != nil {
+		t.Fatal("unknown dataset should be nil")
+	}
+	pos := []genlinkapi.Pair{
+		{A: genlinkapi.NewEntity("a1"), B: genlinkapi.NewEntity("b1")},
+		{A: genlinkapi.NewEntity("a2"), B: genlinkapi.NewEntity("b2")},
+	}
+	if neg := genlinkapi.GenerateNegatives(pos); len(neg) != 2 {
+		t.Fatalf("negatives = %d", len(neg))
+	}
+}
+
+func TestFacadePRCurveAndPostprocess(t *testing.T) {
+	rule, err := genlinkapi.ParseRuleJSON([]byte(`{
+		"kind":"comparison","function":"levenshtein","threshold":1,
+		"children":[
+			{"kind":"property","property":"name"},
+			{"kind":"property","property":"name"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := genlinkapi.NewEntity("a1")
+	a.Add("name", "x")
+	b := genlinkapi.NewEntity("b1")
+	b.Add("name", "x")
+	c := genlinkapi.NewEntity("b2")
+	c.Add("name", "completely different")
+	refs := &genlinkapi.ReferenceLinks{
+		Positive: []genlinkapi.Pair{{A: a, B: b}},
+		Negative: []genlinkapi.Pair{{A: a, B: c}},
+	}
+	points := genlinkapi.PRCurve(rule, refs)
+	if len(points) == 0 {
+		t.Fatal("empty PR curve")
+	}
+	links := []genlinkapi.MatchedLink{
+		{AID: "a1", BID: "b1", Score: 0.9},
+		{AID: "a1", BID: "b2", Score: 0.8},
+	}
+	if got := genlinkapi.FilterOneToOne(links); len(got) != 1 {
+		t.Fatalf("one-to-one = %v", got)
+	}
+	var buf strings.Builder
+	if err := genlinkapi.WriteSameAs(&buf, links); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "owl#sameAs") {
+		t.Fatal("sameAs output missing predicate")
+	}
+}
