@@ -209,22 +209,62 @@ func BenchmarkAblationParsimony(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationBlocking sweeps every blocking strategy on one dataset
+// under the fixed probe rule, reporting the candidate-pair count and the
+// pairs-completeness of the blocked links against the cartesian matcher
+// (linkRecall); bench wall-clock is the cost axis. The cartesian matcher
+// itself is the exactness baseline.
 func BenchmarkAblationBlocking(b *testing.B) {
 	ds := experiments.Dataset("LinkedMDB", 1)
-	r := rule.New(rule.NewComparison(
-		rule.NewTransform(transform.LowerCase(), rule.NewProperty("movieTitle")),
-		rule.NewTransform(transform.LowerCase(), rule.NewProperty("dbpTitle")),
-		similarity.Levenshtein(), 2))
-	b.Run("blocked", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			matching.Match(r, ds.A, ds.B, matching.Options{})
-		}
-	})
+	r := experiments.ProbeRule(ds.Name)
+	exact := matching.MatchCartesian(r, ds.A, ds.B, matching.Options{})
+	inExact := make(map[matching.Link]bool, len(exact))
+	for _, l := range exact {
+		inExact[l] = true
+	}
+	for _, bl := range experiments.AblationBlockers(ds.Name) {
+		bl := bl
+		b.Run(bl.Name(), func(b *testing.B) {
+			opts := matching.Options{Blocker: bl}
+			candidates := len(matching.CandidatePairs(bl, ds.A, ds.B, opts))
+			var links []matching.Link
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				links = matching.Match(r, ds.A, ds.B, opts)
+			}
+			recalled := 0
+			for _, l := range links {
+				if inExact[l] {
+					recalled++
+				}
+			}
+			b.ReportMetric(float64(candidates), "candidates")
+			b.ReportMetric(float64(recalled)/float64(len(exact)), "linkRecall")
+		})
+	}
 	b.Run("cartesian", func(b *testing.B) {
+		var links []matching.Link
 		for i := 0; i < b.N; i++ {
-			matching.MatchCartesian(r, ds.A, ds.B, matching.Options{})
+			links = matching.MatchCartesian(r, ds.A, ds.B, matching.Options{})
 		}
+		b.ReportMetric(float64(ds.A.Len()*ds.B.Len()), "candidates")
+		b.ReportMetric(float64(len(links))/float64(len(exact)), "linkRecall")
 	})
+}
+
+// BenchmarkAblationMatchParallel measures pair-partitioned parallel
+// matching against the serial matcher on a skew-prone dataset.
+func BenchmarkAblationMatchParallel(b *testing.B) {
+	ds := experiments.Dataset("Cora", 1)
+	r := experiments.ProbeRule(ds.Name)
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				matching.MatchParallel(r, ds.A, ds.B, matching.Options{}, workers)
+			}
+		})
+	}
 }
 
 func BenchmarkAblationParallel(b *testing.B) {

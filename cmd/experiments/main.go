@@ -7,6 +7,8 @@
 //	experiments -all                # all tables at quick scale
 //	experiments -table 13 -full     # paper-scale protocol (slow)
 //	experiments -table carvalho     # the Carvalho et al. reference rows
+//	experiments -table blocking     # blocking ablation, all datasets (slow)
+//	experiments -table blocking -dataset Cora
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"slices"
 	"strconv"
 
 	"genlink/internal/experiments"
@@ -24,11 +27,12 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		table = flag.String("table", "", "table to regenerate: 5..15 or 'carvalho'")
-		all   = flag.Bool("all", false, "regenerate every table")
-		full  = flag.Bool("full", false, "use the paper-scale protocol (population 500, 50 iterations, 10 runs; slow)")
-		seed  = flag.Int64("seed", 1, "random seed")
-		runs  = flag.Int("runs", 0, "override the number of cross-validation runs")
+		table   = flag.String("table", "", "table to regenerate: 5..15, 'carvalho' or 'blocking'")
+		all     = flag.Bool("all", false, "regenerate every table")
+		full    = flag.Bool("full", false, "use the paper-scale protocol (population 500, 50 iterations, 10 runs; slow)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		runs    = flag.Int("runs", 0, "override the number of cross-validation runs")
+		dataset = flag.String("dataset", "", "restrict the blocking ablation to one dataset")
 	)
 	flag.Parse()
 
@@ -42,8 +46,8 @@ func main() {
 	}
 
 	if *all {
-		for _, t := range []string{"5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "carvalho"} {
-			run(t, scale)
+		for _, t := range []string{"5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "carvalho", "blocking"} {
+			run(t, scale, *dataset)
 		}
 		return
 	}
@@ -51,12 +55,24 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	run(*table, scale)
+	run(*table, scale, *dataset)
 }
 
-func run(table string, scale experiments.Scale) {
+// run regenerates one table; dataset optionally restricts the blocking
+// ablation to a single dataset (other tables ignore it).
+func run(table string, scale experiments.Scale, dataset string) {
 	fmt.Printf("──────────────────────────────────────────────────────\n")
 	switch table {
+	case "blocking":
+		if dataset != "" {
+			if !slices.Contains(experiments.DatasetNames(), dataset) {
+				log.Fatalf("unknown dataset %q (valid: %v)", dataset, experiments.DatasetNames())
+			}
+			ds := experiments.Dataset(dataset, scale.Seed)
+			fmt.Print(experiments.FormatBlockingTable(experiments.BlockingAblation(ds)))
+			break
+		}
+		fmt.Print(experiments.FormatBlockingTable(experiments.BlockingAblationAll(scale.Seed)))
 	case "5":
 		fmt.Print(experiments.Table5(scale.Seed))
 	case "6":
@@ -78,7 +94,7 @@ func run(table string, scale experiments.Scale) {
 	default:
 		n, err := strconv.Atoi(table)
 		if err != nil || n < 7 || n > 12 {
-			log.Fatalf("unknown table %q (valid: 5..15, carvalho)", table)
+			log.Fatalf("unknown table %q (valid: 5..15, carvalho, blocking)", table)
 		}
 		fmt.Print(experiments.LearningCurveTable(n, scale))
 	}

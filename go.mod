@@ -1,0 +1,3 @@
+module genlink
+
+go 1.24

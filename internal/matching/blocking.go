@@ -1,0 +1,352 @@
+package matching
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"genlink/internal/entity"
+)
+
+// Pair is a candidate entity pair produced by a Blocker. Blocking only
+// proposes pairs; the linkage rule decides whether they match.
+type Pair struct {
+	A, B *entity.Entity
+}
+
+// Blocker generates candidate pairs for rule execution, decoupling
+// candidate generation from scoring. A Blocker trades recall
+// (pairs-completeness: the fraction of true matches among its candidates)
+// against the number of rule evaluations; it never changes rule semantics,
+// only which pairs get scored.
+//
+// Implementations may emit duplicate pairs and self pairs (same ID on both
+// sides, as in dedup setups where A and B are one source); CandidatePairs
+// removes both. Strategies are registered in BlockerByName for CLI and
+// bench wiring.
+type Blocker interface {
+	// Name identifies the strategy in benches, tables and CLI flags.
+	Name() string
+	// Pairs proposes candidate pairs for A×B. Duplicates are allowed.
+	Pairs(a, b *entity.Source, opts Options) []Pair
+}
+
+// CandidatePairs runs a blocker and returns its candidate pairs with
+// duplicates and self pairs removed, in first-seen order. Memory is
+// O(total candidates): materializing the deduplicated list is what lets
+// multi-pass blockers union passes and MatchParallel partition work
+// evenly, at the cost of the streaming per-entity footprint the token
+// matcher alone would need. Keep Options.MaxBlockSize finite on large
+// text-heavy sources.
+func CandidatePairs(bl Blocker, a, b *entity.Source, opts Options) []Pair {
+	opts.normalize(b.Len())
+	raw := bl.Pairs(a, b, opts)
+	seen := make(map[Pair]struct{}, len(raw))
+	out := make([]Pair, 0, len(raw))
+	for _, p := range raw {
+		if p.A.ID == p.B.ID {
+			continue
+		}
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		out = append(out, p)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Token blocking
+
+// TokenBlocker generates a candidate for every pair sharing at least one
+// lowercased value token, skipping tokens whose block exceeds
+// Options.MaxBlockSize (stop-token suppression). This is the repo's
+// original blocking strategy: high pairs-completeness, but frequent tokens
+// make it generate many more candidates than window- or q-gram-based
+// strategies on text-heavy sources.
+type TokenBlocker struct{}
+
+// TokenBlocking returns the token blocking strategy (the default).
+func TokenBlocking() Blocker { return TokenBlocker{} }
+
+// Name implements Blocker.
+func (TokenBlocker) Name() string { return "token" }
+
+// Pairs implements Blocker using the inverted token index.
+func (TokenBlocker) Pairs(a, b *entity.Source, opts Options) []Pair {
+	idx := BuildIndex(b)
+	var out []Pair
+	for _, ea := range a.Entities {
+		for _, eb := range idx.Candidates(ea, opts.MaxBlockSize) {
+			out = append(out, Pair{A: ea, B: eb})
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Sorted neighborhood
+
+// SortedNeighborhoodBlocker sorts the union of both sources by a
+// normalized key and pairs every A entity with the B entities within
+// Window positions of it in the sorted order (Hernández & Stolfo's
+// sorted-neighborhood method). Candidate count is O((|A|+|B|)·Window)
+// regardless of value frequency skew, so it generates far fewer pairs
+// than token blocking on text-heavy sources — at the price of missing
+// matches whose keys sort far apart. Run several passes with different
+// keys via MultiPass to recover them (the MultiBlock idea).
+type SortedNeighborhoodBlocker struct {
+	// Window is how far apart two entities may sit in the sorted order
+	// and still become a candidate pair (default 10).
+	Window int
+	// Key derives the sort key of an entity (default DefaultSortKey).
+	// PropertySortKey builds keys over specific similarity dimensions.
+	Key func(*entity.Entity) string
+	// Label, when set, replaces the key description in Name().
+	Label string
+}
+
+// SortedNeighborhood returns a sorted-neighborhood blocker with the given
+// window (≤0 means the default of 10) over the default sort key.
+func SortedNeighborhood(window int) Blocker {
+	return SortedNeighborhoodBlocker{Window: window}
+}
+
+// Name implements Blocker.
+func (s SortedNeighborhoodBlocker) Name() string {
+	if s.Label != "" {
+		return fmt.Sprintf("sortedneighborhood(w=%d,%s)", s.window(), s.Label)
+	}
+	return fmt.Sprintf("sortedneighborhood(w=%d)", s.window())
+}
+
+func (s SortedNeighborhoodBlocker) window() int {
+	if s.Window <= 0 {
+		return 10
+	}
+	return s.Window
+}
+
+// DefaultSortKey is the sort key used when SortedNeighborhoodBlocker.Key
+// is nil: every lowercased token of every property value, sorted and
+// joined. Sorting the tokens (rather than concatenating values in schema
+// order) keeps the key comparable across sources with different property
+// names — matching entities get near-identical keys no matter how their
+// values are split into properties.
+func DefaultSortKey(e *entity.Entity) string {
+	toks := tokens(e)
+	sort.Strings(toks)
+	return strings.Join(toks, " ")
+}
+
+// PropertySortKey returns a sort key reading the first value of the first
+// set property among props, lowercased with whitespace collapsed. Keying a
+// sorted-neighborhood pass on one similarity dimension — naming the A-side
+// and B-side property of that dimension — is how MultiPass realizes the
+// MultiBlock idea of one index per dimension.
+func PropertySortKey(props ...string) func(*entity.Entity) string {
+	return func(e *entity.Entity) string {
+		for _, p := range props {
+			if vs := e.Values(p); len(vs) > 0 {
+				return strings.Join(strings.Fields(strings.ToLower(vs[0])), " ")
+			}
+		}
+		return ""
+	}
+}
+
+// ReversedKey wraps a sort key so entities sort by the reversed key
+// string. A second sorted-neighborhood pass over reversed keys catches
+// pairs whose keys diverge near the start (a typo in the first characters
+// moves an entity arbitrarily far in forward sort order but barely at all
+// in reverse order when the tail agrees).
+func ReversedKey(key func(*entity.Entity) string) func(*entity.Entity) string {
+	return func(e *entity.Entity) string {
+		runes := []rune(key(e))
+		for i, j := 0, len(runes)-1; i < j; i, j = i+1, j-1 {
+			runes[i], runes[j] = runes[j], runes[i]
+		}
+		return string(runes)
+	}
+}
+
+// Pairs implements Blocker with a windowed scan over the merged sort order.
+func (s SortedNeighborhoodBlocker) Pairs(a, b *entity.Source, opts Options) []Pair {
+	key := s.Key
+	if key == nil {
+		key = DefaultSortKey
+	}
+	type rec struct {
+		key string
+		e   *entity.Entity
+		isA bool
+	}
+	recs := make([]rec, 0, len(a.Entities)+len(b.Entities))
+	for _, e := range a.Entities {
+		recs = append(recs, rec{key: key(e), e: e, isA: true})
+	}
+	for _, e := range b.Entities {
+		recs = append(recs, rec{key: key(e), e: e, isA: false})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].key != recs[j].key {
+			return recs[i].key < recs[j].key
+		}
+		return recs[i].e.ID < recs[j].e.ID
+	})
+	w := s.window()
+	var out []Pair
+	for i := range recs {
+		hi := i + w
+		if hi >= len(recs) {
+			hi = len(recs) - 1
+		}
+		for j := i + 1; j <= hi; j++ {
+			switch {
+			case recs[i].isA && !recs[j].isA:
+				out = append(out, Pair{A: recs[i].e, B: recs[j].e})
+			case !recs[i].isA && recs[j].isA:
+				out = append(out, Pair{A: recs[j].e, B: recs[i].e})
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Q-gram blocking
+
+// QGramBlocker indexes B by the character q-grams of its lowercased value
+// tokens and proposes every pair sharing at least one q-gram, with the
+// same per-block size cap as token blocking. Because a single typo leaves
+// most q-grams of a token intact, it retains pairs that token blocking
+// loses on typo-heavy datasets — at the cost of more candidates, since
+// q-grams are shared far more widely than whole tokens.
+type QGramBlocker struct {
+	// Q is the gram length (≤0 means the default of 3). Tokens shorter
+	// than Q are indexed whole.
+	Q int
+}
+
+// QGramBlocking returns a q-gram blocker with gram length q (≤0 means 3).
+func QGramBlocking(q int) Blocker { return QGramBlocker{Q: q} }
+
+// Name implements Blocker.
+func (g QGramBlocker) Name() string { return fmt.Sprintf("qgram(q=%d)", g.q()) }
+
+func (g QGramBlocker) q() int {
+	if g.Q <= 0 {
+		return 3
+	}
+	return g.Q
+}
+
+func (g QGramBlocker) grams(e *entity.Entity) map[string]struct{} {
+	q := g.q()
+	grams := make(map[string]struct{})
+	for _, tok := range tokens(e) {
+		if len(tok) <= q {
+			grams[tok] = struct{}{}
+			continue
+		}
+		for i := 0; i+q <= len(tok); i++ {
+			grams[tok[i:i+q]] = struct{}{}
+		}
+	}
+	return grams
+}
+
+// Pairs implements Blocker via an inverted q-gram index over B.
+func (g QGramBlocker) Pairs(a, b *entity.Source, opts Options) []Pair {
+	byGram := make(map[string][]*entity.Entity)
+	for _, eb := range b.Entities {
+		for gram := range g.grams(eb) {
+			byGram[gram] = append(byGram[gram], eb)
+		}
+	}
+	var out []Pair
+	for _, ea := range a.Entities {
+		seen := make(map[*entity.Entity]struct{})
+		for gram := range g.grams(ea) {
+			block := byGram[gram]
+			if opts.MaxBlockSize > 0 && len(block) > opts.MaxBlockSize {
+				continue
+			}
+			for _, eb := range block {
+				if _, dup := seen[eb]; dup {
+					continue
+				}
+				seen[eb] = struct{}{}
+				out = append(out, Pair{A: ea, B: eb})
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Multi-pass composite
+
+// MultiPassBlocker unions the candidates of several strategies — the
+// MultiBlock idea (Isele, Jentzsch & Bizer 2011) of indexing each
+// similarity dimension separately so a pair survives blocking if any one
+// dimension proposes it. Pairs-completeness is at least that of the best
+// member; the candidate count is at most the sum of the members'.
+type MultiPassBlocker struct {
+	Passes []Blocker
+}
+
+// MultiPass composes blockers into a union. With no arguments it returns
+// the default composite: token blocking, a sorted-neighborhood pass and a
+// q-gram pass.
+func MultiPass(passes ...Blocker) Blocker {
+	if len(passes) == 0 {
+		passes = []Blocker{TokenBlocking(), SortedNeighborhood(0), QGramBlocking(0)}
+	}
+	return MultiPassBlocker{Passes: passes}
+}
+
+// Name implements Blocker.
+func (m MultiPassBlocker) Name() string {
+	names := make([]string, len(m.Passes))
+	for i, p := range m.Passes {
+		names[i] = p.Name()
+	}
+	return "multipass(" + strings.Join(names, "+") + ")"
+}
+
+// Pairs implements Blocker by concatenating every pass's candidates;
+// CandidatePairs dedupes the union.
+func (m MultiPassBlocker) Pairs(a, b *entity.Source, opts Options) []Pair {
+	var out []Pair
+	for _, p := range m.Passes {
+		out = append(out, p.Pairs(a, b, opts)...)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+// BlockerNames lists the selectable strategies in presentation order.
+func BlockerNames() []string {
+	return []string{"token", "sortedneighborhood", "qgram", "multipass"}
+}
+
+// BlockerByName resolves a strategy name (as listed by BlockerNames) to a
+// Blocker with default parameters. It returns nil for unknown names.
+func BlockerByName(name string) Blocker {
+	switch name {
+	case "token":
+		return TokenBlocking()
+	case "sortedneighborhood", "sorted", "sn":
+		return SortedNeighborhood(0)
+	case "qgram":
+		return QGramBlocking(0)
+	case "multipass", "multi":
+		return MultiPass()
+	default:
+		return nil
+	}
+}

@@ -2,10 +2,19 @@
 //
 // The paper defers efficient rule execution to the MultiBlock method of
 // Isele & Bizer 2011 ([19] in the paper); this package provides a
-// token-blocking substitute: candidate pairs are generated from shared
-// lowercased value tokens, then scored with the rule. Blocking only
-// affects wall-clock cost, not rule semantics; a full cartesian matcher is
-// provided for exactness checks and the blocking-ablation bench.
+// pluggable blocking subsystem in its spirit: a Blocker proposes candidate
+// pairs, the rule scores them. Four strategies are built in —
+//
+//   - TokenBlocking: pairs sharing a lowercased value token (the default);
+//   - SortedNeighborhood: a windowed scan over a normalized sort key,
+//     generating O(n·window) candidates regardless of token-frequency skew;
+//   - QGramBlocking: pairs sharing a character q-gram, robust to typos;
+//   - MultiPass: the union of several passes, the MultiBlock idea of
+//     indexing each similarity dimension separately.
+//
+// Blocking only affects wall-clock cost and pairs-completeness (which true
+// matches get scored at all), never rule semantics; MatchCartesian scores
+// every pair and anchors exactness tests and the blocking-ablation bench.
 package matching
 
 import (
@@ -27,20 +36,27 @@ type Options struct {
 	// Threshold is the minimum similarity to emit a link
 	// (default: rule.MatchThreshold).
 	Threshold float64
-	// MaxBlockSize skips tokens shared by more than this many entities
-	// (stop-token suppression; 0 means no limit). Very frequent tokens
+	// MaxBlockSize skips token/q-gram blocks shared by more than this
+	// many entities (stop-token suppression; 0 means a source-size
+	// derived default, negative means no limit). Very frequent tokens
 	// generate quadratically many candidates while carrying no signal.
 	MaxBlockSize int
+	// Blocker selects the candidate-generation strategy
+	// (default: TokenBlocking).
+	Blocker Blocker
 }
 
-// defaultMaxBlockSize suppresses tokens occurring in >5% of a source when
-// the caller does not choose a limit; see Options.MaxBlockSize.
+// normalize fills defaults: the rule match threshold, stop-token
+// suppression for tokens occurring in >5% of a source, and token blocking.
 func (o *Options) normalize(sourceSize int) {
 	if o.Threshold == 0 {
 		o.Threshold = rule.MatchThreshold
 	}
 	if o.MaxBlockSize == 0 {
 		o.MaxBlockSize = sourceSize/20 + 50
+	}
+	if o.Blocker == nil {
+		o.Blocker = TokenBlocking()
 	}
 }
 
@@ -49,21 +65,33 @@ type Index struct {
 	byToken map[string][]*entity.Entity
 }
 
+// tokens returns the deduplicated lowercased whitespace-split tokens of
+// every property value of e, in unspecified order. Every blocking
+// strategy tokenizes through this single helper so the strategies cannot
+// silently diverge.
+func tokens(e *entity.Entity) []string {
+	seen := make(map[string]struct{})
+	var out []string
+	for _, values := range e.Properties {
+		for _, v := range values {
+			for _, tok := range strings.Fields(strings.ToLower(v)) {
+				if _, dup := seen[tok]; dup {
+					continue
+				}
+				seen[tok] = struct{}{}
+				out = append(out, tok)
+			}
+		}
+	}
+	return out
+}
+
 // BuildIndex indexes every token of every property value of the source.
 func BuildIndex(src *entity.Source) *Index {
 	idx := &Index{byToken: make(map[string][]*entity.Entity)}
 	for _, e := range src.Entities {
-		seen := make(map[string]struct{})
-		for _, values := range e.Properties {
-			for _, v := range values {
-				for _, tok := range strings.Fields(strings.ToLower(v)) {
-					if _, dup := seen[tok]; dup {
-						continue
-					}
-					seen[tok] = struct{}{}
-					idx.byToken[tok] = append(idx.byToken[tok], e)
-				}
-			}
+		for _, tok := range tokens(e) {
+			idx.byToken[tok] = append(idx.byToken[tok], e)
 		}
 	}
 	return idx
@@ -77,15 +105,7 @@ func (idx *Index) Tokens() int { return len(idx.byToken) }
 func (idx *Index) Candidates(e *entity.Entity, maxBlock int) []*entity.Entity {
 	seen := make(map[*entity.Entity]struct{})
 	var out []*entity.Entity
-	tokens := make(map[string]struct{})
-	for _, values := range e.Properties {
-		for _, v := range values {
-			for _, tok := range strings.Fields(strings.ToLower(v)) {
-				tokens[tok] = struct{}{}
-			}
-		}
-	}
-	for tok := range tokens {
+	for _, tok := range tokens(e) {
 		block := idx.byToken[tok]
 		if maxBlock > 0 && len(block) > maxBlock {
 			continue
@@ -101,23 +121,39 @@ func (idx *Index) Candidates(e *entity.Entity, maxBlock int) []*entity.Entity {
 	return out
 }
 
-// Match executes the rule over A×B using token blocking and returns all
-// links with score ≥ threshold, sorted by descending score then IDs.
+// Match executes the rule over A×B using the blocker selected in opts
+// (token blocking by default) and returns all links with score ≥
+// threshold, sorted by descending score then IDs.
 func Match(r *rule.Rule, a, b *entity.Source, opts Options) []Link {
 	opts.normalize(b.Len())
-	idx := BuildIndex(b)
+	links := scorePairs(r, CandidatePairs(opts.Blocker, a, b, opts), opts.Threshold)
+	sortLinks(links)
+	return links
+}
+
+// MatchPairs scores precomputed candidate pairs (as returned by
+// CandidatePairs) and returns the links sorted like Match. It lets
+// callers that already hold the pair list — the blocking ablation, custom
+// pipelines — avoid re-running the blocker; only opts.Threshold is used.
+func MatchPairs(r *rule.Rule, pairs []Pair, opts Options) []Link {
+	if opts.Threshold == 0 {
+		opts.Threshold = rule.MatchThreshold
+	}
+	links := scorePairs(r, pairs, opts.Threshold)
+	sortLinks(links)
+	return links
+}
+
+// scorePairs evaluates the rule on each candidate pair and keeps links
+// scoring at or above the threshold. CandidatePairs has already removed
+// self pairs (meaningless in dedup setups) and duplicates.
+func scorePairs(r *rule.Rule, pairs []Pair, threshold float64) []Link {
 	var links []Link
-	for _, ea := range a.Entities {
-		for _, eb := range idx.Candidates(ea, opts.MaxBlockSize) {
-			if ea.ID == eb.ID {
-				continue // self pairs are meaningless in dedup setups
-			}
-			if score := r.Evaluate(ea, eb); score >= opts.Threshold {
-				links = append(links, Link{AID: ea.ID, BID: eb.ID, Score: score})
-			}
+	for _, p := range pairs {
+		if score := r.Evaluate(p.A, p.B); score >= threshold {
+			links = append(links, Link{AID: p.A.ID, BID: p.B.ID, Score: score})
 		}
 	}
-	sortLinks(links)
 	return links
 }
 

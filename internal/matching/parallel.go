@@ -8,55 +8,51 @@ import (
 	"genlink/internal/rule"
 )
 
-// MatchParallel is Match with the source entities partitioned across
-// workers (≤0 means GOMAXPROCS). Results are identical to Match: rule
-// evaluation is pure and the combined link list is re-sorted.
+// MatchParallel is Match with the candidate pairs partitioned across
+// workers (≤0 means GOMAXPROCS). Partitioning the deduplicated pair list
+// — rather than the source entities — keeps every worker busy during
+// scoring even when blocking is skewed: one giant block no longer
+// serializes on the worker that owns its source entities. Candidate
+// generation itself still runs serially before the fan-out, so the
+// speedup applies to rule evaluation — the dominant cost for learned
+// rules with several transformations and comparisons, though not for a
+// trivial single-comparison rule, where blocking dominates and workers
+// add little. Results are identical to Match: rule evaluation is pure
+// and the combined link list is re-sorted.
 func MatchParallel(r *rule.Rule, a, b *entity.Source, opts Options, workers int) []Link {
 	opts.normalize(b.Len())
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(a.Entities) {
-		workers = len(a.Entities)
+	pairs := CandidatePairs(opts.Blocker, a, b, opts)
+	if workers > len(pairs) {
+		workers = len(pairs)
 	}
 	if workers <= 1 {
-		return Match(r, a, b, opts)
+		links := scorePairs(r, pairs, opts.Threshold)
+		sortLinks(links)
+		return links
 	}
-	idx := BuildIndex(b)
 
 	var (
 		wg      sync.WaitGroup
 		mu      sync.Mutex
 		links   []Link
-		chunkSz = (len(a.Entities) + workers - 1) / workers
+		chunkSz = (len(pairs) + workers - 1) / workers
 	)
-	for w := 0; w < workers; w++ {
-		lo := w * chunkSz
+	for lo := 0; lo < len(pairs); lo += chunkSz {
 		hi := lo + chunkSz
-		if hi > len(a.Entities) {
-			hi = len(a.Entities)
-		}
-		if lo >= hi {
-			break
+		if hi > len(pairs) {
+			hi = len(pairs)
 		}
 		wg.Add(1)
-		go func(chunk []*entity.Entity) {
+		go func(chunk []Pair) {
 			defer wg.Done()
-			var local []Link
-			for _, ea := range chunk {
-				for _, eb := range idx.Candidates(ea, opts.MaxBlockSize) {
-					if ea.ID == eb.ID {
-						continue
-					}
-					if score := r.Evaluate(ea, eb); score >= opts.Threshold {
-						local = append(local, Link{AID: ea.ID, BID: eb.ID, Score: score})
-					}
-				}
-			}
+			local := scorePairs(r, chunk, opts.Threshold)
 			mu.Lock()
 			links = append(links, local...)
 			mu.Unlock()
-		}(a.Entities[lo:hi])
+		}(pairs[lo:hi])
 	}
 	wg.Wait()
 	sortLinks(links)

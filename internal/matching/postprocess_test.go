@@ -110,6 +110,81 @@ func TestWriteCSVLinks(t *testing.T) {
 	}
 }
 
+func TestPostprocessEmptyLinks(t *testing.T) {
+	if got := FilterOneToOne(nil); len(got) != 0 {
+		t.Fatalf("FilterOneToOne(nil) = %v", got)
+	}
+	if got := FilterOneToOne([]Link{}); len(got) != 0 {
+		t.Fatalf("FilterOneToOne(empty) = %v", got)
+	}
+	if got := TopKPerSource(nil, 3); len(got) != 0 {
+		t.Fatalf("TopKPerSource(nil, 3) = %v", got)
+	}
+	if got := TopKPerSource(nil, 0); len(got) != 0 {
+		t.Fatalf("TopKPerSource(nil, 0) = %v", got)
+	}
+	var buf bytes.Buffer
+	if err := WriteSameAs(&buf, nil); err != nil || buf.Len() != 0 {
+		t.Fatalf("WriteSameAs(nil): err=%v out=%q", err, buf.String())
+	}
+}
+
+func TestFilterOneToOneTieBreaksByID(t *testing.T) {
+	// Equal scores: the sort falls back to ascending AID then BID, so a1
+	// must claim b1 and a2 is left with b2 — deterministically.
+	links := []Link{
+		{AID: "a2", BID: "b1", Score: 0.8},
+		{AID: "a1", BID: "b1", Score: 0.8},
+		{AID: "a2", BID: "b2", Score: 0.8},
+	}
+	want := []Link{
+		{AID: "a1", BID: "b1", Score: 0.8},
+		{AID: "a2", BID: "b2", Score: 0.8},
+	}
+	for i := 0; i < 5; i++ {
+		if got := FilterOneToOne(links); !reflect.DeepEqual(got, want) {
+			t.Fatalf("tie-break not deterministic: %v", got)
+		}
+	}
+}
+
+func TestFilterOneToOneDoesNotMutateInput(t *testing.T) {
+	links := []Link{
+		{AID: "a2", BID: "b2", Score: 0.5},
+		{AID: "a1", BID: "b1", Score: 0.9},
+	}
+	orig := append([]Link(nil), links...)
+	FilterOneToOne(links)
+	if !reflect.DeepEqual(links, orig) {
+		t.Fatalf("input reordered: %v", links)
+	}
+}
+
+func TestTopKPerSourceTieBreaksByID(t *testing.T) {
+	// Three equal-score links for a1: TopK(2) must keep the two with the
+	// smallest BIDs, not an arbitrary pair.
+	links := []Link{
+		{AID: "a1", BID: "b3", Score: 0.7},
+		{AID: "a1", BID: "b1", Score: 0.7},
+		{AID: "a1", BID: "b2", Score: 0.7},
+	}
+	got := TopKPerSource(links, 2)
+	want := []Link{
+		{AID: "a1", BID: "b1", Score: 0.7},
+		{AID: "a1", BID: "b2", Score: 0.7},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TopK tie-break = %v", got)
+	}
+}
+
+func TestTopKPerSourceNegativeKKeepsEverything(t *testing.T) {
+	links := []Link{{AID: "a1", BID: "b1", Score: 0.9}}
+	if got := TopKPerSource(links, -1); len(got) != 1 {
+		t.Fatalf("TopK(-1) = %v", got)
+	}
+}
+
 func TestMatchParallelMatchesSerial(t *testing.T) {
 	a, b := citySources(40)
 	serial := Match(labelRule(), a, b, Options{})

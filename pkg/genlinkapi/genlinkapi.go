@@ -7,7 +7,8 @@
 //   - learning a linkage rule with the GenLink genetic programming
 //     algorithm (Isele & Bizer, PVLDB 5(11), 2012)
 //   - evaluating rules (precision, recall, F-measure, MCC)
-//   - executing rules over whole sources with token blocking
+//   - executing rules over whole sources with pluggable blocking
+//     (token, sorted-neighborhood, q-gram, multi-pass), serial or parallel
 //   - the six synthetic evaluation datasets of the paper
 //
 // Quickstart:
@@ -84,6 +85,11 @@ type (
 	MatchOptions = matching.Options
 	// MatchedLink is a scored link produced by rule execution.
 	MatchedLink = matching.Link
+	// Blocker generates candidate pairs for rule execution; see
+	// TokenBlocking, SortedNeighborhood, QGramBlocking and MultiPass.
+	Blocker = matching.Blocker
+	// CandidatePair is an entity pair proposed by a Blocker.
+	CandidatePair = matching.Pair
 )
 
 // NewEntity returns an entity with the given id.
@@ -122,9 +128,60 @@ func Evaluate(r *Rule, refs *ReferenceLinks) Confusion {
 	return evalx.Evaluate(r, refs)
 }
 
-// Match executes a rule over two whole sources with token blocking.
+// Match executes a rule over two whole sources using the blocker selected
+// in opts (token blocking by default).
 func Match(r *Rule, a, b *Source, opts MatchOptions) []MatchedLink {
 	return matching.Match(r, a, b, opts)
+}
+
+// MatchParallel is Match with the candidate pairs partitioned across
+// workers (≤0 means GOMAXPROCS). Results are identical to Match.
+func MatchParallel(r *Rule, a, b *Source, opts MatchOptions, workers int) []MatchedLink {
+	return matching.MatchParallel(r, a, b, opts, workers)
+}
+
+// MatchCartesian executes a rule over the full cross product — exact but
+// quadratic. It anchors blocking-quality measurements.
+func MatchCartesian(r *Rule, a, b *Source, opts MatchOptions) []MatchedLink {
+	return matching.MatchCartesian(r, a, b, opts)
+}
+
+// TokenBlocking returns the default blocking strategy: candidates share a
+// lowercased value token.
+func TokenBlocking() Blocker { return matching.TokenBlocking() }
+
+// SortedNeighborhood returns a sorted-neighborhood blocker with the given
+// window (≤0 means 10): candidates sit near each other in a normalized
+// sort order, bounding candidates at O(n·window) under any value skew.
+func SortedNeighborhood(window int) Blocker { return matching.SortedNeighborhood(window) }
+
+// QGramBlocking returns a q-gram blocker (q ≤ 0 means 3): candidates
+// share a character q-gram, so single typos do not break blocking.
+func QGramBlocking(q int) Blocker { return matching.QGramBlocking(q) }
+
+// MultiPass unions the candidates of several blockers — the MultiBlock
+// idea of indexing each similarity dimension separately. With no
+// arguments it composes token, sorted-neighborhood and q-gram passes.
+func MultiPass(passes ...Blocker) Blocker { return matching.MultiPass(passes...) }
+
+// BlockerByName resolves a strategy name from BlockerNames to a Blocker
+// with default parameters (nil for unknown names) — handy for CLI flags.
+func BlockerByName(name string) Blocker { return matching.BlockerByName(name) }
+
+// BlockerNames lists the selectable blocking strategies.
+func BlockerNames() []string { return matching.BlockerNames() }
+
+// CandidatePairs runs a blocker and returns its deduplicated candidate
+// pairs — the blocking-quality measurement hook.
+func CandidatePairs(bl Blocker, a, b *Source, opts MatchOptions) []CandidatePair {
+	return matching.CandidatePairs(bl, a, b, opts)
+}
+
+// MatchPairs scores precomputed candidate pairs (as returned by
+// CandidatePairs) and returns the links sorted like Match, so pipelines
+// that already hold the pair list need not re-run the blocker.
+func MatchPairs(r *Rule, pairs []CandidatePair, opts MatchOptions) []MatchedLink {
+	return matching.MatchPairs(r, pairs, opts)
 }
 
 // Dataset generates one of the paper's six evaluation datasets by name
@@ -180,6 +237,12 @@ func PRCurve(r *Rule, refs *ReferenceLinks) []PRPoint {
 // score-descending assignment.
 func FilterOneToOne(links []MatchedLink) []MatchedLink {
 	return matching.FilterOneToOne(links)
+}
+
+// TopKPerSource keeps at most k links per source entity (by score);
+// k ≤ 0 keeps everything.
+func TopKPerSource(links []MatchedLink, k int) []MatchedLink {
+	return matching.TopKPerSource(links, k)
 }
 
 // WriteSameAs serializes links as owl:sameAs N-Triples (Silk's output
