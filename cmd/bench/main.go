@@ -1,0 +1,228 @@
+// Command bench is the repeatable perf harness of the evaluation engine:
+// it measures the hot paths (population fitness evaluation, full learner
+// runs, whole-source matching) with and without the compiled engine and
+// writes the results — ns/op, bytes/op, allocs/op and the derived
+// speedups — to a JSON file, seeding the benchmark trajectory that future
+// performance work diffs against.
+//
+// Usage:
+//
+//	bench                      # Cora, writes BENCH_evalengine.json
+//	bench -dataset LinkedMDB -out bench.json
+//	bench -population 120 -iterations 8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"genlink/internal/datagen"
+	"genlink/internal/entity"
+	"genlink/internal/evalengine"
+	"genlink/internal/genlink"
+	"genlink/internal/matching"
+	"genlink/internal/rule"
+	"genlink/internal/similarity"
+	"genlink/internal/transform"
+)
+
+// Measurement is one benchmark result row.
+type Measurement struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the schema of BENCH_evalengine.json.
+type Report struct {
+	Generated  string             `json:"generated"`
+	GoVersion  string             `json:"go_version"`
+	NumCPU     int                `json:"num_cpu"`
+	Dataset    string             `json:"dataset"`
+	Population int                `json:"population"`
+	RefPairs   int                `json:"ref_pairs"`
+	Benchmarks []Measurement      `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+
+	var (
+		out        = flag.String("out", "BENCH_evalengine.json", "output JSON file")
+		dataset    = flag.String("dataset", "Cora", "paper dataset to bench on")
+		population = flag.Int("population", 60, "population size for the fitness and learner benches")
+		iterations = flag.Int("iterations", 5, "learner iterations for the learner bench")
+		seed       = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	gen := datagen.ByName(*dataset)
+	if gen == nil {
+		log.Fatalf("unknown dataset %q (available: %v)", *dataset, datagen.Names())
+	}
+	ds := gen(*seed)
+
+	report := &Report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		Dataset:    ds.Name,
+		Population: *population,
+		RefPairs:   ds.Refs.Len(),
+		Speedups:   map[string]float64{},
+	}
+
+	run := func(name string, f func(b *testing.B)) Measurement {
+		res := testing.Benchmark(f)
+		m := Measurement{
+			Name:        name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		report.Benchmarks = append(report.Benchmarks, m)
+		fmt.Printf("%-28s %12.0f ns/op %12d B/op %9d allocs/op  (n=%d)\n",
+			name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, m.Iterations)
+		return m
+	}
+
+	// Fitness: one generation's evaluation pass over all reference links,
+	// with a third of the population replaced per iteration the way
+	// crossover would — the acceptance measurement for the engine.
+	pg := newPopulationGen(ds, *seed)
+	fitness := func(opts evalengine.Options) func(b *testing.B) {
+		return func(b *testing.B) {
+			eng := evalengine.New(ds.Refs, opts)
+			rng := rand.New(rand.NewSource(*seed))
+			pop := pg.rules(rng, *population)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < len(pop)/3; j++ {
+					pop[rng.Intn(len(pop))] = pg.rules(rng, 1)[0]
+				}
+				eng.EvaluateBatch(pop)
+			}
+		}
+	}
+	fe := run("fitness/engine", fitness(evalengine.Options{Workers: 1}))
+	ft := run("fitness/treewalk", fitness(evalengine.Options{Workers: 1, Disabled: true}))
+	report.Speedups["fitness_evaluation"] = ft.NsPerOp / fe.NsPerOp
+
+	// Learner: a full GenLink run (seeding, evolution, history) — the
+	// end-to-end view of the same speedup.
+	learner := func(disabled bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			cfg := genlink.DefaultConfig()
+			cfg.PopulationSize = *population
+			cfg.MaxIterations = *iterations
+			cfg.Seed = *seed
+			cfg.Workers = 1
+			cfg.Engine.Disabled = disabled
+			for i := 0; i < b.N; i++ {
+				if _, err := genlink.NewLearner(cfg).Learn(ds.Refs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	le := run("learner/engine", learner(false))
+	lt := run("learner/treewalk", learner(true))
+	report.Speedups["learner"] = lt.NsPerOp / le.NsPerOp
+
+	// Matching: compiled scoring of blocked candidate pairs vs the
+	// interpreted tree-walk over the same pairs.
+	probe := probeRule(ds)
+	pairs := matching.CandidatePairs(matching.TokenBlocking(), ds.A, ds.B, matching.Options{MaxBlockSize: ds.B.Len()/20 + 50})
+	me := run("match/compiled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			scorer := evalengine.Compile(probe).Scorer()
+			for _, p := range pairs {
+				scorer.Score(p.A, p.B)
+			}
+		}
+	})
+	mt := run("match/treewalk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range pairs {
+				probe.Evaluate(p.A, p.B)
+			}
+		}
+	})
+	report.Speedups["matching"] = mt.NsPerOp / me.NsPerOp
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nspeedups: fitness %.1fx, learner %.1fx, matching %.1fx → %s\n",
+		report.Speedups["fitness_evaluation"], report.Speedups["learner"],
+		report.Speedups["matching"], *out)
+}
+
+// populationGen builds GP-generation-shaped populations for a dataset:
+// comparisons drawn from the dataset's own compatible property pairs
+// (Algorithm 2, run once at construction), wrapped in random aggregations,
+// with thresholds and operand orders varied the way crossover varies them.
+type populationGen struct {
+	pairs    []genlink.PropertyPair
+	measures []similarity.Measure
+}
+
+func newPopulationGen(ds *entity.Dataset, seed int64) *populationGen {
+	rng := rand.New(rand.NewSource(seed))
+	measures := similarity.Core()
+	pairs := genlink.CompatibleProperties(ds.Refs.Positive, measures, 1, 50, rng)
+	if len(pairs) == 0 {
+		pairs = genlink.AllPropertyPairs(ds.Refs.Positive)
+	}
+	return &populationGen{pairs: pairs, measures: measures}
+}
+
+func (g *populationGen) comparison(rng *rand.Rand) rule.SimilarityOp {
+	pp := g.pairs[rng.Intn(len(g.pairs))]
+	var a rule.ValueOp = rule.NewProperty(pp.A)
+	var b rule.ValueOp = rule.NewProperty(pp.B)
+	if rng.Float64() < 0.5 {
+		a = rule.NewTransform(transform.LowerCase(), a)
+		b = rule.NewTransform(transform.LowerCase(), b)
+	}
+	m := g.measures[rng.Intn(len(g.measures))]
+	return rule.NewComparison(a, b, m, rng.Float64()*3)
+}
+
+func (g *populationGen) rules(rng *rand.Rand, size int) []*rule.Rule {
+	rules := make([]*rule.Rule, size)
+	for i := range rules {
+		n := 1 + rng.Intn(3)
+		ops := make([]rule.SimilarityOp, n)
+		for j := range ops {
+			ops[j] = g.comparison(rng)
+		}
+		rules[i] = rule.New(rule.NewAggregation(rule.CoreAggregators()[rng.Intn(3)], ops...))
+	}
+	return rules
+}
+
+// probeRule builds a fixed learned-rule-shaped probe for the matching
+// bench.
+func probeRule(ds *entity.Dataset) *rule.Rule {
+	rng := rand.New(rand.NewSource(1))
+	return newPopulationGen(ds, 1).rules(rng, 1)[0]
+}

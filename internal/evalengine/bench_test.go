@@ -1,0 +1,110 @@
+package evalengine_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"genlink/internal/datagen"
+	"genlink/internal/evalengine"
+	"genlink/internal/rule"
+	"genlink/internal/similarity"
+	"genlink/internal/transform"
+)
+
+// coraPopulation builds a population of plausible Cora rules the way a GP
+// generation looks: a handful of base comparison shapes, then clones
+// mutated in threshold and operand order — heavy subtree sharing, exactly
+// what the caches are for.
+func coraPopulation(rng *rand.Rand, size int) []*rule.Rule {
+	props := []string{"title", "author", "venue", "year"}
+	measures := []similarity.Measure{
+		similarity.Levenshtein(), similarity.Jaccard(), similarity.Dice(),
+	}
+	base := func() rule.SimilarityOp {
+		p := props[rng.Intn(len(props))]
+		var in rule.ValueOp = rule.NewProperty(p)
+		if rng.Float64() < 0.5 {
+			in = rule.NewTransform(transform.LowerCase(), in)
+		}
+		if rng.Float64() < 0.3 {
+			in = rule.NewTransform(transform.Tokenize(), in)
+		}
+		m := measures[rng.Intn(len(measures))]
+		thr := rng.Float64() * 3
+		return rule.NewComparison(in, in.CloneValue(), m, thr)
+	}
+	rules := make([]*rule.Rule, size)
+	for i := range rules {
+		n := 1 + rng.Intn(3)
+		ops := make([]rule.SimilarityOp, n)
+		for j := range ops {
+			ops[j] = base()
+		}
+		rules[i] = rule.New(rule.NewAggregation(rule.CoreAggregators()[rng.Intn(3)], ops...))
+	}
+	return rules
+}
+
+// BenchmarkFitnessEvaluation measures one generation's fitness pass over
+// the full Cora reference links (1617 positive + 1617 negative pairs) for
+// a population of 60 rules: the compiled memoizing engine versus the
+// interpreted tree-walk. This is the measurement behind the engine's
+// headline speedup; cmd/bench records it to BENCH_evalengine.json.
+func BenchmarkFitnessEvaluation(b *testing.B) {
+	ds := datagen.Cora(1)
+	for _, mode := range []struct {
+		name string
+		opts evalengine.Options
+	}{
+		{"engine", evalengine.Options{Workers: 1}},
+		{"treewalk", evalengine.Options{Workers: 1, Disabled: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			eng := evalengine.New(ds.Refs, mode.opts)
+			rng := rand.New(rand.NewSource(1))
+			pop := coraPopulation(rng, 60)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Mutate a third of the population each iteration, as
+				// crossover would, so the cache sees a realistic mix of
+				// hits and misses rather than a fully warm population.
+				for j := 0; j < len(pop)/3; j++ {
+					pop[rng.Intn(len(pop))] = coraPopulation(rng, 1)[0]
+				}
+				eng.EvaluateBatch(pop)
+			}
+		})
+	}
+}
+
+// BenchmarkScorer measures compiled pair scoring against the interpreted
+// Rule.Evaluate on a single hot pair.
+func BenchmarkScorer(b *testing.B) {
+	ds := datagen.Cora(1)
+	r := rule.New(rule.NewAggregation(rule.Min(),
+		rule.NewComparison(
+			rule.NewTransform(transform.LowerCase(), rule.NewProperty("title")),
+			rule.NewTransform(transform.LowerCase(), rule.NewProperty("title")),
+			similarity.Levenshtein(), 3),
+		rule.NewComparison(
+			rule.NewTransform(transform.Tokenize(), rule.NewProperty("author")),
+			rule.NewTransform(transform.Tokenize(), rule.NewProperty("author")),
+			similarity.Jaccard(), 0.5)))
+	pairs := ds.Refs.Positive[:200]
+	b.Run("compiled", func(b *testing.B) {
+		s := evalengine.Compile(r).Scorer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			s.Score(p.A, p.B)
+		}
+	})
+	b.Run("treewalk", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			r.Evaluate(p.A, p.B)
+		}
+	})
+}

@@ -1,0 +1,443 @@
+// Package evalengine is the compiled rule-evaluation engine behind fitness
+// scoring and rule execution.
+//
+// Fitness evaluation dominates GenLink's runtime: every candidate rule of
+// every generation is scored on all reference links (Section 5.2 of the
+// paper). Interpreting the operator tree per (rule, pair) re-fetches
+// property values, re-runs transformation chains and re-computes distances
+// even though elitism and crossover make populations share most subtrees
+// and each entity appears in many pairs. This package removes that
+// redundancy in three layers:
+//
+//	rule ──Compile──▶ flat post-order programs (compile.go)
+//	                  over an interned, column-oriented entity table
+//	                  (table.go), evaluated batch-wise with
+//	                  generation-scoped caches shared across the whole
+//	                  population (this file):
+//
+//	  - value sets     memoized per (value-subtree signature, entity)
+//	  - raw distances  memoized per (comparison-modulo-threshold
+//	                   signature, pair) — a comparison's distance does not
+//	                   depend on its threshold, so threshold-crossover
+//	                   offspring hit the cache
+//	  - scores         derived from cached distances at fold time
+//	                   (a few float ops per pair)
+//
+// Caches are keyed by the canonical signatures of package rule and survive
+// across generations: only subtrees first seen this generation are
+// computed. Entries unused for KeepGenerations generations are evicted, and
+// hard caps bound memory on adversarial populations.
+//
+// Equivalence with the interpreted tree-walk (rule.Rule.Evaluate) is pinned
+// by a differential test over random rules and entities; rules containing
+// extension operator kinds automatically fall back to the tree-walk.
+package evalengine
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"genlink/internal/entity"
+	"genlink/internal/rule"
+)
+
+// Counts is a confusion matrix over reference links. It is structurally
+// identical to evalx.Confusion (evalx converts; defining it here keeps the
+// dependency arrow pointing from evalx to the engine).
+type Counts struct {
+	TP, TN, FP, FN int
+}
+
+// Options tunes an Engine.
+type Options struct {
+	// Disabled switches the engine off: evaluation falls back to the
+	// interpreted tree-walk (parallelized over rules). Useful for
+	// differential testing and for measuring the engine's speedup.
+	Disabled bool
+	// Workers bounds evaluation parallelism (≤0 means GOMAXPROCS).
+	Workers int
+	// MaxDistEntries caps the number of cached distance vectors
+	// (0 means 4096, negative means unlimited). One vector costs
+	// 8 bytes × number of reference pairs.
+	MaxDistEntries int
+	// MaxValueEntries caps the number of cached value-set columns
+	// (0 means 8192, negative means unlimited).
+	MaxValueEntries int
+	// KeepGenerations evicts cache entries unused for this many
+	// generations (0 means 3).
+	KeepGenerations int
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+func (o Options) maxDist() int {
+	if o.MaxDistEntries == 0 {
+		return 4096
+	}
+	return o.MaxDistEntries
+}
+
+func (o Options) maxValue() int {
+	if o.MaxValueEntries == 0 {
+		return 8192
+	}
+	return o.MaxValueEntries
+}
+
+func (o Options) keep() int {
+	if o.KeepGenerations <= 0 {
+		return 3
+	}
+	return o.KeepGenerations
+}
+
+// valueEntry caches the value sets of one value program for every interned
+// entity, computed lazily per entity side.
+type valueEntry struct {
+	prog     *valueProgram
+	vals     [][]string
+	done     []bool
+	lastUsed int
+}
+
+// distEntry caches the raw distances of one distance program for every
+// reference pair.
+type distEntry struct {
+	dists    []float64
+	lastUsed int
+}
+
+// CacheStats reports cache effectiveness, mostly for tests and the perf
+// harness.
+type CacheStats struct {
+	// ValueVectors and DistVectors are the current cache sizes.
+	ValueVectors, DistVectors int
+	// DistComputed counts distance vectors computed across all batches;
+	// DistHits counts batch lookups served from cache.
+	DistComputed, DistHits int64
+}
+
+// Engine evaluates batches of rules against a fixed set of reference links
+// with cross-generation memoization. Create one engine per link set (e.g.
+// per learning run) and feed it every generation; the caches make the
+// shared structure of consecutive populations nearly free.
+//
+// Engine methods must not be called concurrently with each other; the
+// parallelism lives inside EvaluateBatch.
+type Engine struct {
+	opts  Options
+	refs  *entity.ReferenceLinks
+	table *entityTable
+
+	values map[string]*valueEntry
+	dists  map[string]*distEntry
+	gen    int
+	stats  CacheStats
+}
+
+// New returns an engine over the given reference links.
+func New(refs *entity.ReferenceLinks, opts Options) *Engine {
+	return &Engine{
+		opts:   opts,
+		refs:   refs,
+		table:  newEntityTable(refs),
+		values: make(map[string]*valueEntry),
+		dists:  make(map[string]*distEntry),
+	}
+}
+
+// Stats returns current cache statistics.
+func (e *Engine) Stats() CacheStats {
+	s := e.stats
+	s.ValueVectors = len(e.values)
+	s.DistVectors = len(e.dists)
+	return s
+}
+
+// Generation returns the number of evaluated batches.
+func (e *Engine) Generation() int { return e.gen }
+
+// Evaluate scores a single rule (one-element batch).
+func (e *Engine) Evaluate(r *rule.Rule) Counts {
+	return e.EvaluateBatch([]*rule.Rule{r})[0]
+}
+
+// EvaluateOnce builds a throwaway engine and scores one rule — the
+// delegation target of evalx.Evaluate. Even without cross-generation reuse
+// it deduplicates subtree work within the rule and evaluates each value
+// program once per entity instead of once per pair.
+func EvaluateOnce(r *rule.Rule, refs *entity.ReferenceLinks) Counts {
+	return New(refs, Options{Workers: 1}).Evaluate(r)
+}
+
+// EvaluateBatch scores every rule over the engine's reference links and
+// returns one confusion count per rule, in order. It advances the cache
+// generation.
+func (e *Engine) EvaluateBatch(rules []*rule.Rule) []Counts {
+	out := make([]Counts, len(rules))
+	if len(rules) == 0 || e.table.numPairs() == 0 {
+		return out
+	}
+	workers := e.opts.workers()
+	if e.opts.Disabled {
+		parallelDo(len(rules), workers, func(i int) {
+			out[i] = treeWalk(rules[i], e.refs)
+		})
+		return out
+	}
+	e.gen++
+
+	// Compile the population and collect the cache misses of this
+	// generation, deduplicated by signature.
+	progs := make([]*Compiled, len(rules))
+	type valueNeed struct {
+		entry        *valueEntry
+		needA, needB bool
+	}
+	valueNeeds := make(map[string]*valueNeed)
+	needValue := func(p *valueProgram, sideA bool) *valueEntry {
+		n, ok := valueNeeds[p.sig]
+		if !ok {
+			ve, cached := e.values[p.sig]
+			if !cached {
+				ve = &valueEntry{
+					prog: p,
+					vals: make([][]string, len(e.table.entities)),
+					done: make([]bool, len(e.table.entities)),
+				}
+				e.values[p.sig] = ve
+			}
+			n = &valueNeed{entry: ve}
+			valueNeeds[p.sig] = n
+		}
+		n.entry.lastUsed = e.gen
+		if sideA {
+			n.needA = true
+		} else {
+			n.needB = true
+		}
+		return n.entry
+	}
+	type distNeed struct {
+		entry *distEntry
+		prog  *distProgram
+		a, b  *valueEntry
+	}
+	distNeeds := make(map[string]*distNeed)
+	for i, r := range rules {
+		p := Compile(r)
+		progs[i] = p
+		if p.opaque {
+			continue
+		}
+		for _, d := range p.dists {
+			if de, ok := e.dists[d.sig]; ok {
+				// Cached from a previous generation or already scheduled
+				// by another rule of this batch.
+				de.lastUsed = e.gen
+				e.stats.DistHits++
+				continue
+			}
+			de := &distEntry{dists: make([]float64, e.table.numPairs()), lastUsed: e.gen}
+			e.dists[d.sig] = de
+			distNeeds[d.sig] = &distNeed{
+				entry: de,
+				prog:  d,
+				a:     needValue(d.a, true),
+				b:     needValue(d.b, false),
+			}
+			e.stats.DistComputed++
+		}
+	}
+
+	// Build every referenced property column up front so the parallel
+	// phases read the column map without synchronization.
+	for _, n := range valueNeeds {
+		for _, in := range n.entry.prog.instrs {
+			if in.op == vProp {
+				e.table.column(in.prop)
+			}
+		}
+	}
+
+	// Phase 1: materialize missing value sets, one worker per value
+	// program (distinct programs write distinct entries — no contention).
+	valueTasks := make([]*valueNeed, 0, len(valueNeeds))
+	for _, n := range valueNeeds {
+		valueTasks = append(valueTasks, n)
+	}
+	parallelDo(len(valueTasks), workers, func(ti int) {
+		n := valueTasks[ti]
+		prog := n.entry.prog
+		scratch := make([][]string, prog.depth)
+		fill := func(ids []int32) {
+			for _, id := range ids {
+				if n.entry.done[id] {
+					continue
+				}
+				n.entry.vals[id] = prog.eval(e.table.columnGetter(id), scratch)
+				n.entry.done[id] = true
+			}
+		}
+		if n.needA {
+			fill(e.table.aEnts)
+		}
+		if n.needB {
+			fill(e.table.bEnts)
+		}
+	})
+
+	// Phase 2: compute missing distance vectors over all pairs, one worker
+	// per distance program.
+	distTasks := make([]*distNeed, 0, len(distNeeds))
+	for _, n := range distNeeds {
+		distTasks = append(distTasks, n)
+	}
+	parallelDo(len(distTasks), workers, func(ti int) {
+		n := distTasks[ti]
+		va, vb := n.a.vals, n.b.vals
+		m := n.prog.measure
+		for p := range n.entry.dists {
+			n.entry.dists[p] = m.Distance(va[e.table.pairA[p]], vb[e.table.pairB[p]])
+		}
+	})
+
+	// Phase 3: fold every rule over the cached distance vectors.
+	parallelDo(len(rules), workers, func(i int) {
+		p := progs[i]
+		if p.opaque {
+			out[i] = treeWalk(rules[i], e.refs)
+			return
+		}
+		vecs := make([][]float64, len(p.dists))
+		for _, d := range p.dists {
+			vecs[d.id] = e.dists[d.sig].dists
+		}
+		pd := make([]float64, len(p.dists))
+		stack := make([]float64, p.depth)
+		var c Counts
+		for pi := 0; pi < e.table.numPairs(); pi++ {
+			for j := range vecs {
+				pd[j] = vecs[j][pi]
+			}
+			match := p.fold(pd, stack) >= rule.MatchThreshold
+			if pi < e.table.numPos {
+				if match {
+					c.TP++
+				} else {
+					c.FN++
+				}
+			} else {
+				if match {
+					c.FP++
+				} else {
+					c.TN++
+				}
+			}
+		}
+		out[i] = c
+	})
+
+	e.evict()
+	return out
+}
+
+// evict drops cache entries unused for KeepGenerations generations, then
+// enforces the hard caps oldest-first.
+func (e *Engine) evict() {
+	cutoff := e.gen - e.opts.keep()
+	for sig, de := range e.dists {
+		if de.lastUsed <= cutoff {
+			delete(e.dists, sig)
+		}
+	}
+	for sig, ve := range e.values {
+		if ve.lastUsed <= cutoff {
+			delete(e.values, sig)
+		}
+	}
+	if limit := e.opts.maxDist(); limit > 0 && len(e.dists) > limit {
+		evictOldest(e.dists, len(e.dists)-limit, func(d *distEntry) int { return d.lastUsed })
+	}
+	if limit := e.opts.maxValue(); limit > 0 && len(e.values) > limit {
+		evictOldest(e.values, len(e.values)-limit, func(v *valueEntry) int { return v.lastUsed })
+	}
+}
+
+// evictOldest removes n entries with the smallest lastUsed stamp.
+func evictOldest[V any](m map[string]V, n int, lastUsed func(V) int) {
+	type aged struct {
+		sig string
+		gen int
+	}
+	entries := make([]aged, 0, len(m))
+	for sig, v := range m {
+		entries = append(entries, aged{sig, lastUsed(v)})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].gen < entries[j].gen })
+	for i := 0; i < n && i < len(entries); i++ {
+		delete(m, entries[i].sig)
+	}
+}
+
+// treeWalk is the interpreted reference evaluation: classify every pair
+// with Rule.Matches and tally the confusion matrix.
+func treeWalk(r *rule.Rule, refs *entity.ReferenceLinks) Counts {
+	var c Counts
+	if refs == nil {
+		return c
+	}
+	for _, p := range refs.Positive {
+		if r.Matches(p.A, p.B) {
+			c.TP++
+		} else {
+			c.FN++
+		}
+	}
+	for _, p := range refs.Negative {
+		if r.Matches(p.A, p.B) {
+			c.FP++
+		} else {
+			c.TN++
+		}
+	}
+	return c
+}
+
+// parallelDo runs f(0..n-1) across at most workers goroutines.
+func parallelDo(n, workers int, f func(int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,176 @@
+package evalengine_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"genlink/internal/entity"
+	"genlink/internal/evalengine"
+	"genlink/internal/rule"
+	"genlink/internal/similarity"
+	"genlink/internal/transform"
+)
+
+// fixtureRefs builds a small deterministic link set: positives share the
+// lowercased name, negatives do not.
+func fixtureRefs() *entity.ReferenceLinks {
+	names := []string{"Alice", "Bob", "Carol", "Dave"}
+	refs := &entity.ReferenceLinks{}
+	mk := func(id, name string) *entity.Entity {
+		e := entity.New(id)
+		e.Add("name", name)
+		return e
+	}
+	for i, n := range names {
+		a := mk("a"+n, n)
+		b := mk("b"+n, n+" ") // trailing space: transformations have work to do
+		refs.Positive = append(refs.Positive, entity.Pair{A: a, B: b})
+		other := names[(i+1)%len(names)]
+		refs.Negative = append(refs.Negative, entity.Pair{A: a, B: mk("x"+other, other)})
+	}
+	return refs
+}
+
+func nameRule(threshold float64) *rule.Rule {
+	return rule.New(rule.NewComparison(
+		rule.NewTransform(transform.Trim(), rule.NewProperty("name")),
+		rule.NewTransform(transform.Trim(), rule.NewProperty("name")),
+		similarity.Levenshtein(), threshold))
+}
+
+func TestEngineMatchesKnownConfusion(t *testing.T) {
+	refs := fixtureRefs()
+	eng := evalengine.New(refs, evalengine.Options{})
+	got := eng.Evaluate(nameRule(0.5))
+	want := evalengine.Counts{TP: 4, TN: 4}
+	if got != want {
+		t.Fatalf("counts = %+v, want %+v", got, want)
+	}
+}
+
+func TestEngineCrossGenerationReuse(t *testing.T) {
+	refs := fixtureRefs()
+	eng := evalengine.New(refs, evalengine.Options{})
+	r := nameRule(0.5)
+	eng.EvaluateBatch([]*rule.Rule{r})
+	after1 := eng.Stats()
+	if after1.DistComputed == 0 {
+		t.Fatal("first generation must compute distance vectors")
+	}
+	// The clone shares every signature: generation 2 must be pure cache
+	// hits.
+	eng.EvaluateBatch([]*rule.Rule{r.Clone(), r.Clone()})
+	after2 := eng.Stats()
+	if after2.DistComputed != after1.DistComputed {
+		t.Fatalf("cloned generation recomputed distances: %d -> %d",
+			after1.DistComputed, after2.DistComputed)
+	}
+	if after2.DistHits <= after1.DistHits {
+		t.Fatal("cloned generation must hit the cache")
+	}
+}
+
+func TestEngineThresholdVariantsShareDistances(t *testing.T) {
+	refs := fixtureRefs()
+	eng := evalengine.New(refs, evalengine.Options{})
+	// Same measure and value subtrees, five thresholds: one distance
+	// vector total.
+	batch := []*rule.Rule{nameRule(0.5), nameRule(1), nameRule(2), nameRule(3), nameRule(4)}
+	eng.EvaluateBatch(batch)
+	if got := eng.Stats().DistComputed; got != 1 {
+		t.Fatalf("threshold variants computed %d distance vectors, want 1", got)
+	}
+}
+
+func TestEngineEviction(t *testing.T) {
+	refs := fixtureRefs()
+	eng := evalengine.New(refs, evalengine.Options{KeepGenerations: 1})
+	eng.EvaluateBatch([]*rule.Rule{nameRule(0.5)})
+	if eng.Stats().DistVectors != 1 {
+		t.Fatalf("dist vectors = %d, want 1", eng.Stats().DistVectors)
+	}
+	// A different rule two generations in a row ages the first entry out.
+	other := rule.New(rule.NewComparison(rule.NewProperty("name"), rule.NewProperty("name"),
+		similarity.Jaccard(), 0.5))
+	eng.EvaluateBatch([]*rule.Rule{other})
+	eng.EvaluateBatch([]*rule.Rule{other.Clone()})
+	if eng.Stats().DistVectors != 1 {
+		t.Fatalf("stale entry not evicted: %d vectors", eng.Stats().DistVectors)
+	}
+}
+
+func TestEngineHardCap(t *testing.T) {
+	refs := fixtureRefs()
+	eng := evalengine.New(refs, evalengine.Options{MaxDistEntries: 2, KeepGenerations: 100})
+	// Three distinct measures → three distance vectors, capped at two.
+	rules := []*rule.Rule{
+		nameRule(1),
+		rule.New(rule.NewComparison(rule.NewProperty("name"), rule.NewProperty("name"), similarity.Jaccard(), 0.5)),
+		rule.New(rule.NewComparison(rule.NewProperty("name"), rule.NewProperty("name"), similarity.Dice(), 0.5)),
+	}
+	eng.EvaluateBatch(rules)
+	if got := eng.Stats().DistVectors; got > 2 {
+		t.Fatalf("cache size %d exceeds cap 2", got)
+	}
+}
+
+func TestEngineDisabledEqualsEnabled(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	refs := randomRefs(rng, 25)
+	rules := make([]*rule.Rule, 8)
+	for i := range rules {
+		rules[i] = randomRule(rng)
+	}
+	on := evalengine.New(refs, evalengine.Options{}).EvaluateBatch(rules)
+	off := evalengine.New(refs, evalengine.Options{Disabled: true, Workers: 2}).EvaluateBatch(rules)
+	for i := range rules {
+		if on[i] != off[i] {
+			t.Fatalf("rule %d: enabled %+v, disabled %+v", i, on[i], off[i])
+		}
+	}
+}
+
+func TestEngineEmptyAndNilInputs(t *testing.T) {
+	eng := evalengine.New(nil, evalengine.Options{})
+	if got := eng.Evaluate(nameRule(1)); got != (evalengine.Counts{}) {
+		t.Fatalf("nil refs counts = %+v", got)
+	}
+	refs := fixtureRefs()
+	eng = evalengine.New(refs, evalengine.Options{})
+	if got := eng.Evaluate(nil); got != (evalengine.Counts{FN: 4, TN: 4}) {
+		t.Fatalf("nil rule counts = %+v", got)
+	}
+	if got := eng.Evaluate(&rule.Rule{}); got != (evalengine.Counts{FN: 4, TN: 4}) {
+		t.Fatalf("empty rule counts = %+v", got)
+	}
+	if out := eng.EvaluateBatch(nil); len(out) != 0 {
+		t.Fatalf("empty batch returned %d counts", len(out))
+	}
+}
+
+func TestEvaluateOnce(t *testing.T) {
+	refs := fixtureRefs()
+	got := evalengine.EvaluateOnce(nameRule(0.5), refs)
+	if got != (evalengine.Counts{TP: 4, TN: 4}) {
+		t.Fatalf("counts = %+v", got)
+	}
+}
+
+func TestCompiledDeduplicatesSubtrees(t *testing.T) {
+	// Both comparisons share the lowerCase(name) subtree; min/max of the
+	// same measure+inputs with different thresholds share the distance.
+	lower := func() rule.ValueOp {
+		return rule.NewTransform(transform.LowerCase(), rule.NewProperty("name"))
+	}
+	r := rule.New(rule.NewAggregation(rule.Min(),
+		rule.NewComparison(lower(), lower(), similarity.Levenshtein(), 1),
+		rule.NewComparison(lower(), lower(), similarity.Levenshtein(), 3),
+	))
+	c := evalengine.Compile(r)
+	if got := c.NumValuePrograms(); got != 1 {
+		t.Fatalf("value programs = %d, want 1", got)
+	}
+	if got := c.NumDistPrograms(); got != 1 {
+		t.Fatalf("dist programs = %d, want 1", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 
 	"genlink/internal/entity"
+	"genlink/internal/evalengine"
 	"genlink/internal/rule"
 )
 
@@ -21,7 +22,21 @@ type Confusion struct {
 // Evaluate classifies every reference link with the rule and tallies the
 // confusion matrix. A pair counts as predicted-positive iff the rule's
 // similarity is ≥ 0.5 (Definition 3).
+//
+// Evaluation is delegated to the compiled engine (internal/evalengine),
+// which deduplicates shared subtrees and evaluates value chains once per
+// entity instead of once per pair; results are identical to the
+// interpreted EvaluateTreeWalk. Callers that score many rules against the
+// same links — the learner does — should hold an evalengine.Engine
+// instead, which additionally memoizes across calls.
 func Evaluate(r *rule.Rule, refs *entity.ReferenceLinks) Confusion {
+	return Confusion(evalengine.EvaluateOnce(r, refs))
+}
+
+// EvaluateTreeWalk classifies every reference link by interpreting the
+// operator tree directly. It is the reference implementation the compiled
+// engine is differentially tested against; Evaluate is the fast path.
+func EvaluateTreeWalk(r *rule.Rule, refs *entity.ReferenceLinks) Confusion {
 	var c Confusion
 	for _, p := range refs.Positive {
 		if r.Matches(p.A, p.B) {

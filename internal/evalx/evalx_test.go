@@ -1,6 +1,7 @@
 package evalx
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -207,5 +208,74 @@ func TestCrossValidationDefaultRuns(t *testing.T) {
 	})
 	if count != 1 {
 		t.Fatalf("Runs=0 should default to 1, got %d", count)
+	}
+}
+
+// TestConfusionZeroDenominators pins the zero-denominator conventions of
+// every metric: each undefined ratio yields 0 rather than NaN.
+func TestConfusionZeroDenominators(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Confusion
+	}{
+		{"empty", Confusion{}},
+		{"precision: no predicted positives", Confusion{TN: 3, FN: 2}},
+		{"recall: no actual positives", Confusion{TN: 3, FP: 2}},
+		{"mcc: TP+FP factor zero", Confusion{TN: 4, FN: 4}},
+		{"mcc: TP+FN factor zero", Confusion{TN: 4, FP: 4}},
+		{"mcc: TN+FP factor zero", Confusion{TP: 4, FN: 4}},
+		{"mcc: TN+FN factor zero", Confusion{TP: 4, FP: 4}},
+	}
+	for _, tc := range cases {
+		for metric, got := range map[string]float64{
+			"precision": tc.c.Precision(),
+			"recall":    tc.c.Recall(),
+			"f1":        tc.c.FMeasure(),
+			"mcc":       tc.c.MCC(),
+		} {
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("%s: %s is not finite: %v", tc.name, metric, got)
+			}
+		}
+	}
+	// The four one-sided matrices have an undefined MCC → 0 by convention.
+	for _, c := range []Confusion{{TN: 4, FN: 4}, {TN: 4, FP: 4}, {TP: 4, FN: 4}, {TP: 4, FP: 4}} {
+		if got := c.MCC(); got != 0 {
+			t.Fatalf("MCC(%+v) = %v, want 0", c, got)
+		}
+	}
+	// F1 with both precision and recall zero must be 0, not NaN.
+	if got := (Confusion{FP: 3, FN: 3}).FMeasure(); got != 0 {
+		t.Fatalf("F1 with p=r=0 should be 0, got %v", got)
+	}
+	// Sanity: a perfect matrix still reports 1 everywhere it should.
+	perfect := Confusion{TP: 5, TN: 5}
+	if perfect.Precision() != 1 || perfect.Recall() != 1 || perfect.FMeasure() != 1 || perfect.MCC() != 1 {
+		t.Fatalf("perfect matrix mis-scored: %+v", perfect)
+	}
+}
+
+// TestEvaluateMatchesTreeWalk checks the delegation to the compiled
+// engine: Evaluate and the interpreted reference must agree.
+func TestEvaluateMatchesTreeWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	refs := &entity.ReferenceLinks{}
+	for i := 0; i < 30; i++ {
+		a := entity.New(fmt.Sprintf("a%d", i))
+		a.Add("name", fmt.Sprintf("entity %d", i))
+		b := entity.New(fmt.Sprintf("b%d", i))
+		b.Add("name", fmt.Sprintf("entity %d", i+rng.Intn(2)))
+		p := entity.Pair{A: a, B: b}
+		if i%2 == 0 {
+			refs.Positive = append(refs.Positive, p)
+		} else {
+			refs.Negative = append(refs.Negative, p)
+		}
+	}
+	r := rule.New(rule.NewComparison(
+		rule.NewProperty("name"), rule.NewProperty("name"),
+		similarity.Levenshtein(), 1))
+	if got, want := Evaluate(r, refs), EvaluateTreeWalk(r, refs); got != want {
+		t.Fatalf("Evaluate %+v != tree-walk %+v", got, want)
 	}
 }

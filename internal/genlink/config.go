@@ -8,6 +8,7 @@ import (
 	"math"
 	"math/rand"
 
+	"genlink/internal/evalengine"
 	"genlink/internal/rule"
 	"genlink/internal/similarity"
 	"genlink/internal/transform"
@@ -171,6 +172,12 @@ type Config struct {
 	Seeding SeedingMode
 	// Workers bounds fitness-evaluation parallelism (≤0: GOMAXPROCS).
 	Workers int
+	// Engine tunes the compiled evaluation engine that scores populations
+	// (cache sizes, generations kept, on/off). The zero value enables the
+	// engine with defaults; set Engine.Disabled to fall back to the
+	// interpreted tree-walk. Engine.Workers is derived from Workers when
+	// unset.
+	Engine evalengine.Options
 	// Seed drives all randomness; equal seeds give identical runs.
 	Seed int64
 	// Measures are the distance functions available to comparisons.

@@ -7,15 +7,16 @@ import (
 	"time"
 
 	"genlink/internal/entity"
+	"genlink/internal/evalengine"
 	"genlink/internal/evalx"
 	"genlink/internal/gp"
 	"genlink/internal/rule"
 )
 
 // candidate is one individual of the population: a rule plus the confusion
-// matrix of its last evaluation on the training links. The confusion is
-// written by the (parallel) fitness evaluation — each worker touches a
-// distinct candidate, so no synchronization is needed.
+// matrix of its last evaluation on the training links. valid marks the
+// cached measurements as current — elites carry theirs across generations
+// and are skipped by the batch evaluation.
 type candidate struct {
 	rule  *rule.Rule
 	conf  evalx.Confusion
@@ -65,23 +66,22 @@ type Result struct {
 	TopRules []*rule.Rule
 }
 
-// StatsAt returns the history entry for the given iteration, or the last
-// entry when evolution stopped earlier (the paper's tables repeat the
-// converged value for later checkpoints).
+// StatsAt returns the history entry for the given iteration. When the
+// iteration was not recorded — evolution stopped earlier, or the history
+// holds sparse checkpoints — the latest entry at or before it is returned
+// (the paper's tables repeat the converged value for later checkpoints).
 func (r *Result) StatsAt(iteration int) IterationStats {
 	if len(r.History) == 0 {
 		return IterationStats{}
 	}
+	out := r.History[0]
 	for _, h := range r.History {
-		if h.Iteration == iteration {
-			return h
+		if h.Iteration > iteration {
+			break
 		}
+		out = h
 	}
-	last := r.History[len(r.History)-1]
-	if iteration > last.Iteration {
-		return last
-	}
-	return r.History[0]
+	return out
 }
 
 // Learner learns linkage rules from reference links (Definition 4).
@@ -148,9 +148,18 @@ func (l *Learner) LearnWithValidation(train, val *entity.ReferenceLinks) (*Resul
 	gen := newGenerator(l.cfg, pairs)
 	ops := operatorSet(l.cfg)
 
+	// One engine instance per link set, shared by every generation: the
+	// compiled programs and signature-keyed caches make the subtrees that
+	// elitism and crossover carry between generations nearly free.
+	engine := evalengine.New(train, l.engineOptions())
+	var valEngine *evalengine.Engine
+	if val != nil {
+		valEngine = evalengine.New(val, l.engineOptions())
+	}
+
 	// Initial population.
 	pop := l.newPopulation(gen.InitialPopulation(rng, l.cfg.PopulationSize))
-	l.evaluate(pop, train)
+	l.evaluate(pop, engine)
 
 	result := &Result{CompatiblePairs: pairs}
 	record := func(iteration int) *candidate {
@@ -163,8 +172,8 @@ func (l *Learner) LearnWithValidation(train, val *entity.ReferenceLinks) (*Resul
 			BestFitness:   l.accuracy(best) - l.parsimony(best.rule.OperatorCount()),
 			OperatorCount: best.rule.OperatorCount(),
 		}
-		if val != nil {
-			stats.ValF1 = evalx.Evaluate(best.rule, val).FMeasure()
+		if valEngine != nil {
+			stats.ValF1 = confusion(valEngine.Evaluate(best.rule)).FMeasure()
 		}
 		result.History = append(result.History, stats)
 		return best
@@ -179,8 +188,18 @@ func (l *Learner) LearnWithValidation(train, val *entity.ReferenceLinks) (*Resul
 		}
 		next := make([]*candidate, 0, l.cfg.PopulationSize)
 		for e := 0; e < l.cfg.Elitism && e < pop.Len(); e++ {
-			// Preserve the fittest rule across generations (reproduction).
-			next = append(next, &candidate{rule: pop.Individuals[pop.Best()].Genome.rule.Clone()})
+			// Preserve the fittest rule across generations (reproduction),
+			// carrying its measurements: evaluation is deterministic, so
+			// re-scoring the identical rule would only waste a full pass
+			// over the reference links.
+			elite := pop.Individuals[pop.Best()].Genome
+			next = append(next, &candidate{
+				rule:  elite.rule.Clone(),
+				conf:  elite.conf,
+				f1:    elite.f1,
+				mcc:   elite.mcc,
+				valid: elite.valid,
+			})
 		}
 		for len(next) < l.cfg.PopulationSize {
 			i1, i2 := pop.SelectPair(rng, l.cfg.TournamentSize)
@@ -199,7 +218,7 @@ func (l *Learner) LearnWithValidation(train, val *entity.ReferenceLinks) (*Resul
 			next = append(next, &candidate{rule: child})
 		}
 		pop = &gp.Population[*candidate]{Individuals: wrap(next)}
-		l.evaluate(pop, train)
+		l.evaluate(pop, engine)
 		best = record(iter)
 		result.Iterations = iter
 	}
@@ -207,11 +226,24 @@ func (l *Learner) LearnWithValidation(train, val *entity.ReferenceLinks) (*Resul
 	result.Best = best.rule
 	result.BestTrainF1 = best.f1
 	result.TopRules = topRules(pop, 10)
-	if val != nil {
-		result.BestValF1 = evalx.Evaluate(best.rule, val).FMeasure()
+	if valEngine != nil {
+		result.BestValF1 = confusion(valEngine.Evaluate(best.rule)).FMeasure()
 	}
 	return result, nil
 }
+
+// engineOptions derives the evaluation-engine options from the config,
+// defaulting the engine's parallelism to the learner's worker bound.
+func (l *Learner) engineOptions() evalengine.Options {
+	opts := l.cfg.Engine
+	if opts.Workers == 0 {
+		opts.Workers = l.cfg.Workers
+	}
+	return opts
+}
+
+// confusion converts engine counts into the evalx confusion matrix.
+func confusion(c evalengine.Counts) evalx.Confusion { return evalx.Confusion(c) }
 
 // topRules returns the fittest structurally distinct rules, best first.
 func topRules(pop *gp.Population[*candidate], n int) []*rule.Rule {
@@ -226,7 +258,10 @@ func topRules(pop *gp.Population[*candidate], n int) []*rule.Rule {
 	var out []*rule.Rule
 	for _, i := range idx {
 		r := pop.Individuals[i].Genome.rule
-		key := r.Compact()
+		// The canonical signature deduplicates more sharply than the
+		// Compact rendering: operand order of commutative aggregations is
+		// normalized and thresholds are compared exactly.
+		key := r.Signature()
 		if seen[key] {
 			continue
 		}
@@ -267,16 +302,34 @@ func (l *Learner) parsimony(n int) float64 {
 }
 
 // evaluate computes fitness = accuracy − parsimony(operatorCount) for
-// every candidate in parallel (Section 5.2). Accuracy is MCC by default;
-// the F1 alternative exists for the fitness ablation.
-func (l *Learner) evaluate(pop *gp.Population[*candidate], train *entity.ReferenceLinks) {
-	pop.Evaluate(func(c *candidate) float64 {
-		c.conf = evalx.Evaluate(c.rule, train)
+// every candidate (Section 5.2). Accuracy is MCC by default; the F1
+// alternative exists for the fitness ablation.
+//
+// Candidates whose measurements are already valid — the elites — are not
+// re-scored. Everything else goes through the engine as one batch, so
+// value sets and distances shared across the population (and, via the
+// engine's generation caches, with previous populations) are computed
+// once; the engine parallelizes internally.
+func (l *Learner) evaluate(pop *gp.Population[*candidate], engine *evalengine.Engine) {
+	var idx []int
+	var rules []*rule.Rule
+	for i := range pop.Individuals {
+		if !pop.Individuals[i].Genome.valid {
+			idx = append(idx, i)
+			rules = append(rules, pop.Individuals[i].Genome.rule)
+		}
+	}
+	for j, counts := range engine.EvaluateBatch(rules) {
+		c := pop.Individuals[idx[j]].Genome
+		c.conf = confusion(counts)
 		c.f1 = c.conf.FMeasure()
 		c.mcc = c.conf.MCC()
 		c.valid = true
-		return l.accuracy(c) - l.parsimony(c.rule.OperatorCount())
-	}, l.cfg.Workers)
+	}
+	for i := range pop.Individuals {
+		c := pop.Individuals[i].Genome
+		pop.Individuals[i].Fitness = l.accuracy(c) - l.parsimony(c.rule.OperatorCount())
+	}
 }
 
 // accuracy returns the configured accuracy term of a candidate.

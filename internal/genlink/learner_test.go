@@ -7,7 +7,11 @@ import (
 	"testing"
 
 	"genlink/internal/entity"
+	"genlink/internal/evalengine"
+	"genlink/internal/evalx"
+	"genlink/internal/gp"
 	"genlink/internal/rule"
+	"genlink/internal/similarity"
 )
 
 // toyTask builds a small learnable matching task: persons with noisy names
@@ -345,4 +349,109 @@ func TestRepair(t *testing.T) {
 	// Nil-safety.
 	repair(&rule.Rule{}, Linear)
 	repair(nil, Boolean)
+}
+
+func TestStatsAtBetweenCheckpoints(t *testing.T) {
+	// Sparse histories (recorded checkpoints only) must floor to the
+	// latest entry at or before the requested iteration — the paper's
+	// tables repeat the last converged value.
+	res := &Result{History: []IterationStats{
+		{Iteration: 0, TrainF1: 0.5},
+		{Iteration: 10, TrainF1: 0.8},
+		{Iteration: 20, TrainF1: 0.9},
+	}}
+	for _, tc := range []struct {
+		iteration int
+		want      float64
+	}{
+		{0, 0.5}, {5, 0.5}, {10, 0.8}, {15, 0.8}, {20, 0.9}, {100, 0.9}, {-1, 0.5},
+	} {
+		if got := res.StatsAt(tc.iteration).TrainF1; got != tc.want {
+			t.Fatalf("StatsAt(%d) = %v, want %v", tc.iteration, got, tc.want)
+		}
+	}
+}
+
+// TestLearnerEngineMatchesTreeWalk pins the learner-level differential:
+// because the compiled engine scores identically to the interpreted
+// tree-walk, the whole evolution — selection, crossover, history — must be
+// byte-for-byte deterministic across the two evaluation paths.
+func TestLearnerEngineMatchesTreeWalk(t *testing.T) {
+	refs := toyTask(25, 9)
+	cfg := smallConfig(5)
+	cfg.MaxIterations = 6
+
+	on, err := NewLearner(cfg).Learn(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Engine.Disabled = true
+	off, err := NewLearner(cfg).Learn(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := on.Best.Signature(), off.Best.Signature(); got != want {
+		t.Fatalf("best rules diverge:\nengine    %s\ntree-walk %s", got, want)
+	}
+	if len(on.History) != len(off.History) {
+		t.Fatalf("history lengths diverge: %d vs %d", len(on.History), len(off.History))
+	}
+	for i := range on.History {
+		a, b := on.History[i], off.History[i]
+		if a.TrainF1 != b.TrainF1 || a.MeanF1 != b.MeanF1 || a.BestFitness != b.BestFitness {
+			t.Fatalf("iteration %d diverges: engine %+v, tree-walk %+v", i, a, b)
+		}
+	}
+}
+
+// TestEvaluateSkipsValidCandidates pins the elitism fix: candidates whose
+// measurements are already valid keep them — the batch evaluation must not
+// re-score the elite.
+func TestEvaluateSkipsValidCandidates(t *testing.T) {
+	refs := toyTask(10, 4)
+	l := NewLearner(smallConfig(1))
+	eng := evalengine.New(refs, evalengine.Options{})
+
+	r := rule.New(rule.NewComparison(
+		rule.NewProperty("name"), rule.NewProperty("label"),
+		similarity.Levenshtein(), 1))
+	sentinel := evalx.Confusion{TP: 1, FP: 2, FN: 3, TN: 4}
+	elite := &candidate{rule: r, conf: sentinel, f1: 0.123, mcc: 0.456, valid: true}
+	fresh := &candidate{rule: r.Clone()}
+	pop := &gp.Population[*candidate]{Individuals: wrap([]*candidate{elite, fresh})}
+
+	l.evaluate(pop, eng)
+
+	if elite.conf != sentinel || elite.f1 != 0.123 || elite.mcc != 0.456 {
+		t.Fatalf("elite was re-evaluated: %+v f1=%v mcc=%v", elite.conf, elite.f1, elite.mcc)
+	}
+	if !fresh.valid {
+		t.Fatal("fresh candidate not evaluated")
+	}
+	if fresh.conf == sentinel {
+		t.Fatal("fresh candidate kept sentinel confusion")
+	}
+	// Fitness must still be derived from the cached measurements.
+	want := l.accuracy(elite) - l.parsimony(r.OperatorCount())
+	if got := pop.Individuals[0].Fitness; got != want {
+		t.Fatalf("elite fitness = %v, want %v (from cached stats)", got, want)
+	}
+}
+
+// TestEliteCarriesStatsAcrossGenerations checks the full loop: with
+// elitism enabled the returned best candidate's measurements stay
+// consistent with a from-scratch evaluation of the best rule.
+func TestEliteCarriesStatsAcrossGenerations(t *testing.T) {
+	refs := toyTask(20, 6)
+	cfg := smallConfig(8)
+	cfg.MaxIterations = 4
+	res, err := NewLearner(cfg).Learn(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := evalx.Evaluate(res.Best, refs)
+	if got := conf.FMeasure(); got != res.BestTrainF1 {
+		t.Fatalf("carried train F1 %v != re-evaluated %v", res.BestTrainF1, got)
+	}
 }

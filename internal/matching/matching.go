@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"genlink/internal/entity"
+	"genlink/internal/evalengine"
 	"genlink/internal/rule"
 )
 
@@ -147,10 +148,21 @@ func MatchPairs(r *rule.Rule, pairs []Pair, opts Options) []Link {
 // scorePairs evaluates the rule on each candidate pair and keeps links
 // scoring at or above the threshold. CandidatePairs has already removed
 // self pairs (meaningless in dedup setups) and duplicates.
+//
+// The rule is compiled once (internal/evalengine) and scored through a
+// Scorer whose per-entity value-set cache pays each entity's
+// transformation chains once, however many candidate pairs blocking puts
+// it in. Scores are identical to Rule.Evaluate.
 func scorePairs(r *rule.Rule, pairs []Pair, threshold float64) []Link {
+	return scorePairsWith(evalengine.Compile(r).Scorer(), pairs, threshold)
+}
+
+// scorePairsWith scores pairs through an existing scorer (one per
+// goroutine; a Scorer is not safe for concurrent use).
+func scorePairsWith(scorer *evalengine.Scorer, pairs []Pair, threshold float64) []Link {
 	var links []Link
 	for _, p := range pairs {
-		if score := r.Evaluate(p.A, p.B); score >= threshold {
+		if score := scorer.Score(p.A, p.B); score >= threshold {
 			links = append(links, Link{AID: p.A.ID, BID: p.B.ID, Score: score})
 		}
 	}
@@ -158,16 +170,19 @@ func scorePairs(r *rule.Rule, pairs []Pair, threshold float64) []Link {
 }
 
 // MatchCartesian executes the rule over the full cross product — exact but
-// quadratic. Used by tests and the blocking ablation.
+// quadratic. Used by tests and the blocking ablation. Like scorePairs it
+// runs the compiled rule with per-entity value caching, which matters even
+// more here: every entity appears in |B| (resp. |A|) pairs.
 func MatchCartesian(r *rule.Rule, a, b *entity.Source, opts Options) []Link {
 	opts.normalize(b.Len())
+	scorer := evalengine.Compile(r).Scorer()
 	var links []Link
 	for _, ea := range a.Entities {
 		for _, eb := range b.Entities {
 			if ea.ID == eb.ID {
 				continue
 			}
-			if score := r.Evaluate(ea, eb); score >= opts.Threshold {
+			if score := scorer.Score(ea, eb); score >= opts.Threshold {
 				links = append(links, Link{AID: ea.ID, BID: eb.ID, Score: score})
 			}
 		}

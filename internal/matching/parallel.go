@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"genlink/internal/entity"
+	"genlink/internal/evalengine"
 	"genlink/internal/rule"
 )
 
@@ -34,6 +35,10 @@ func MatchParallel(r *rule.Rule, a, b *entity.Source, opts Options, workers int)
 		return links
 	}
 
+	// The rule compiles once; each worker scores its chunk through its own
+	// Scorer (per-entity value caches are not synchronized) over the
+	// shared immutable program.
+	compiled := evalengine.Compile(r)
 	var (
 		wg      sync.WaitGroup
 		mu      sync.Mutex
@@ -48,7 +53,7 @@ func MatchParallel(r *rule.Rule, a, b *entity.Source, opts Options, workers int)
 		wg.Add(1)
 		go func(chunk []Pair) {
 			defer wg.Done()
-			local := scorePairs(r, chunk, opts.Threshold)
+			local := scorePairsWith(compiled.Scorer(), chunk, opts.Threshold)
 			mu.Lock()
 			links = append(links, local...)
 			mu.Unlock()

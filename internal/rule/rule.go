@@ -28,8 +28,8 @@ type ValueOp interface {
 	Evaluate(e *entity.Entity) []string
 	// CloneValue returns a deep copy of the operator subtree.
 	CloneValue() ValueOp
-	// count returns the number of operators in the subtree.
-	count() int
+	// Count returns the number of operators in the subtree.
+	Count() int
 }
 
 // SimilarityOp yields a similarity score in [0,1] for a pair of entities
@@ -43,8 +43,8 @@ type SimilarityOp interface {
 	Weight() int
 	// SetWeight updates the weight.
 	SetWeight(w int)
-	// count returns the number of operators in the subtree.
-	count() int
+	// Count returns the number of operators in the subtree.
+	Count() int
 }
 
 // PropertyOp retrieves all values of a property of an entity (Definition 5).
@@ -62,7 +62,7 @@ func (o *PropertyOp) Evaluate(e *entity.Entity) []string { return e.Values(o.Pro
 // CloneValue implements ValueOp.
 func (o *PropertyOp) CloneValue() ValueOp { c := *o; return &c }
 
-func (o *PropertyOp) count() int { return 1 }
+func (o *PropertyOp) Count() int { return 1 }
 
 // TransformOp transforms the value sets of its inputs with a transformation
 // function (Definition 6). Transformations may be nested to form chains.
@@ -96,10 +96,10 @@ func (o *TransformOp) CloneValue() ValueOp {
 	return c
 }
 
-func (o *TransformOp) count() int {
+func (o *TransformOp) Count() int {
 	n := 1
 	for _, in := range o.Inputs {
-		n += in.count()
+		n += in.Count()
 	}
 	return n
 }
@@ -161,7 +161,7 @@ func (o *ComparisonOp) Weight() int { return o.W }
 // SetWeight implements SimilarityOp.
 func (o *ComparisonOp) SetWeight(w int) { o.W = w }
 
-func (o *ComparisonOp) count() int { return 1 + o.InputA.count() + o.InputB.count() }
+func (o *ComparisonOp) Count() int { return 1 + o.InputA.Count() + o.InputB.Count() }
 
 // Aggregator combines the similarity scores of an aggregation's operands
 // (f_a of Definition 8).
@@ -218,10 +218,10 @@ func (o *AggregationOp) Weight() int { return o.W }
 // SetWeight implements SimilarityOp.
 func (o *AggregationOp) SetWeight(w int) { o.W = w }
 
-func (o *AggregationOp) count() int {
+func (o *AggregationOp) Count() int {
 	n := 1
 	for _, op := range o.Operands {
-		n += op.count()
+		n += op.Count()
 	}
 	return n
 }
@@ -276,7 +276,7 @@ func (r *Rule) OperatorCount() int {
 	if r == nil || r.Root == nil {
 		return 0
 	}
-	return r.Root.count()
+	return r.Root.Count()
 }
 
 // Stats summarizes the structural composition of a rule, as discussed for

@@ -1,0 +1,144 @@
+package rule
+
+import (
+	"strings"
+	"testing"
+
+	"genlink/internal/entity"
+	"genlink/internal/similarity"
+	"genlink/internal/transform"
+)
+
+func TestValueSignatureDistinguishesStructure(t *testing.T) {
+	p := NewProperty("label")
+	lower := NewTransform(transform.LowerCase(), NewProperty("label"))
+	tok := NewTransform(transform.Tokenize(), NewProperty("label"))
+	chain := NewTransform(transform.Tokenize(), NewTransform(transform.LowerCase(), NewProperty("label")))
+
+	sigs := map[string]bool{}
+	for _, op := range []ValueOp{p, lower, tok, chain} {
+		s := ValueSignature(op)
+		if sigs[s] {
+			t.Fatalf("duplicate signature %q", s)
+		}
+		sigs[s] = true
+	}
+
+	if ValueSignature(lower) != ValueSignature(lower.CloneValue()) {
+		t.Fatal("clone must share the signature")
+	}
+}
+
+func TestValueSignatureQuotesPropertyNames(t *testing.T) {
+	// A hostile property name must not collide with transform syntax.
+	tricky := NewProperty(`lowerCase(label)`)
+	wrapped := NewTransform(transform.LowerCase(), NewProperty("label"))
+	if ValueSignature(tricky) == ValueSignature(wrapped) {
+		t.Fatal("property name collided with transform signature")
+	}
+}
+
+func TestSimSignatureThresholdExact(t *testing.T) {
+	a := NewComparison(NewProperty("x"), NewProperty("y"), similarity.Levenshtein(), 0.123456789)
+	b := NewComparison(NewProperty("x"), NewProperty("y"), similarity.Levenshtein(), 0.123456788)
+	if SimSignature(a) == SimSignature(b) {
+		t.Fatal("distinct thresholds must yield distinct signatures")
+	}
+	// Compact, by contrast, rounds them together — the signature is the
+	// memoization-safe generalization.
+	if New(a).Compact() != New(b).Compact() {
+		t.Log("Compact distinguishes them too on this input; signature still must")
+	}
+}
+
+func TestSimSignatureExcludesOwnWeight(t *testing.T) {
+	a := NewComparison(NewProperty("x"), NewProperty("y"), similarity.Levenshtein(), 1)
+	b := NewComparison(NewProperty("x"), NewProperty("y"), similarity.Levenshtein(), 1)
+	b.SetWeight(7)
+	if SimSignature(a) != SimSignature(b) {
+		t.Fatal("an operator's own weight must not enter its signature")
+	}
+	// ...but the enclosing aggregation must see the weight.
+	aggA := NewAggregation(WMean(), a.CloneSim())
+	aggB := NewAggregation(WMean(), b.CloneSim())
+	if SimSignature(aggA) == SimSignature(aggB) {
+		t.Fatal("aggregation signature must include operand weights")
+	}
+}
+
+func TestSimSignatureCommutativeSorting(t *testing.T) {
+	c1 := NewComparison(NewProperty("x"), NewProperty("y"), similarity.Levenshtein(), 1)
+	c2 := NewComparison(NewProperty("a"), NewProperty("b"), similarity.Jaccard(), 0.5)
+	fwd := NewAggregation(Min(), c1, c2)
+	rev := NewAggregation(Min(), c2.CloneSim(), c1.CloneSim())
+	if SimSignature(fwd) != SimSignature(rev) {
+		t.Fatal("commutative aggregation must ignore operand order")
+	}
+	if !IsCommutative(Min()) || !IsCommutative(Max()) || !IsCommutative(WMean()) {
+		t.Fatal("built-in aggregators must be commutative")
+	}
+}
+
+func TestRuleSignatureNilSafety(t *testing.T) {
+	var r *Rule
+	if got := r.Signature(); got != "∅" {
+		t.Fatalf("nil rule signature = %q", got)
+	}
+	if got := (&Rule{}).Signature(); got != "∅" {
+		t.Fatalf("empty rule signature = %q", got)
+	}
+}
+
+func TestHasOnlyCoreOps(t *testing.T) {
+	r := New(NewAggregation(Min(),
+		NewComparison(NewTransform(transform.LowerCase(), NewProperty("l")),
+			NewProperty("l"), similarity.Levenshtein(), 1)))
+	if !r.HasOnlyCoreOps() {
+		t.Fatal("core rule misdetected")
+	}
+	ext := New(NewAggregation(Min(), extensionOp{}))
+	if ext.HasOnlyCoreOps() {
+		t.Fatal("extension operator not detected")
+	}
+	if sig := SimSignature(extensionOp{}); sig != "?" {
+		t.Fatalf("extension signature = %q, want \"?\"", sig)
+	}
+}
+
+// extensionOp is a SimilarityOp kind the signature builder and the
+// evalengine compiler do not know.
+type extensionOp struct{}
+
+func (extensionOp) Evaluate(a, b *entity.Entity) float64 { return 0 }
+func (extensionOp) CloneSim() SimilarityOp               { return extensionOp{} }
+func (extensionOp) Weight() int                          { return 1 }
+func (extensionOp) SetWeight(int)                        {}
+func (extensionOp) Count() int                           { return 1 }
+
+func TestVisitPostOrderOrder(t *testing.T) {
+	r := New(NewAggregation(Min(),
+		NewComparison(
+			NewTransform(transform.LowerCase(), NewProperty("a")),
+			NewProperty("b"),
+			similarity.Levenshtein(), 1),
+		NewComparison(NewProperty("c"), NewProperty("d"), similarity.Jaccard(), 0.5)))
+	var order []string
+	VisitPostOrder(r.Root, &recordingVisitor{out: &order})
+	want := "p(a) t(lowerCase) p(b) cmp(levenshtein) p(c) p(d) cmp(jaccard) agg(min)"
+	if got := strings.Join(order, " "); got != want {
+		t.Fatalf("post-order = %q, want %q", got, want)
+	}
+}
+
+type recordingVisitor struct{ out *[]string }
+
+func (v *recordingVisitor) Property(o *PropertyOp) { *v.out = append(*v.out, "p("+o.Property+")") }
+func (v *recordingVisitor) Transform(o *TransformOp) {
+	*v.out = append(*v.out, "t("+o.Function.Name()+")")
+}
+func (v *recordingVisitor) Comparison(o *ComparisonOp) {
+	*v.out = append(*v.out, "cmp("+o.Measure.Name()+")")
+}
+func (v *recordingVisitor) Aggregation(o *AggregationOp) {
+	*v.out = append(*v.out, "agg("+o.Function.Name()+")")
+}

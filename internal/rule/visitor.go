@@ -1,0 +1,100 @@
+package rule
+
+// Visitor receives one callback per operator kind during a traversal.
+// It is the typed alternative to the WalkSim/WalkValue closures: consumers
+// that need to distinguish operator kinds (compilers, signature builders,
+// statistics) implement Visitor once instead of type-switching at every
+// call site.
+type Visitor interface {
+	// Property is called for every property operator.
+	Property(*PropertyOp)
+	// Transform is called for every transformation operator.
+	Transform(*TransformOp)
+	// Comparison is called for every comparison operator.
+	Comparison(*ComparisonOp)
+	// Aggregation is called for every aggregation operator.
+	Aggregation(*AggregationOp)
+}
+
+// VisitPostOrder walks the similarity tree rooted at op in post-order:
+// children are visited before their parents, and a comparison's value
+// inputs (input A first) before the comparison itself. Post-order is the
+// natural order for bottom-up consumers — a visitor that maintains a stack
+// sees every child's result on top of the stack when its parent is visited,
+// which is exactly how the evalengine compiler emits flat stack programs
+// and how canonical signatures are composed.
+//
+// Operators of unknown dynamic types are skipped; callers that must handle
+// extension operators should detect them with HasOnlyCoreOps first.
+func VisitPostOrder(op SimilarityOp, v Visitor) {
+	switch o := op.(type) {
+	case nil:
+	case *ComparisonOp:
+		VisitValuePostOrder(o.InputA, v)
+		VisitValuePostOrder(o.InputB, v)
+		v.Comparison(o)
+	case *AggregationOp:
+		for _, child := range o.Operands {
+			VisitPostOrder(child, v)
+		}
+		v.Aggregation(o)
+	}
+}
+
+// VisitValuePostOrder walks the value tree rooted at op in post-order,
+// visiting transformation inputs left to right before the transformation.
+func VisitValuePostOrder(op ValueOp, v Visitor) {
+	switch o := op.(type) {
+	case nil:
+	case *PropertyOp:
+		v.Property(o)
+	case *TransformOp:
+		for _, child := range o.Inputs {
+			VisitValuePostOrder(child, v)
+		}
+		v.Transform(o)
+	}
+}
+
+// HasOnlyCoreOps reports whether every operator in the rule is one of the
+// four built-in kinds (property, transformation, comparison, aggregation).
+// The evalengine compiler only understands those; rules containing
+// extension operators fall back to the interpreted tree-walk.
+func (r *Rule) HasOnlyCoreOps() bool {
+	if r == nil || r.Root == nil {
+		return true
+	}
+	return coreSim(r.Root)
+}
+
+func coreSim(op SimilarityOp) bool {
+	switch o := op.(type) {
+	case *ComparisonOp:
+		return coreValue(o.InputA) && coreValue(o.InputB)
+	case *AggregationOp:
+		for _, child := range o.Operands {
+			if !coreSim(child) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func coreValue(op ValueOp) bool {
+	switch o := op.(type) {
+	case *PropertyOp:
+		return true
+	case *TransformOp:
+		for _, child := range o.Inputs {
+			if !coreValue(child) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}

@@ -6,7 +6,8 @@
 //   - building data sources and reference links (entities, CSV, N-Triples)
 //   - learning a linkage rule with the GenLink genetic programming
 //     algorithm (Isele & Bizer, PVLDB 5(11), 2012)
-//   - evaluating rules (precision, recall, F-measure, MCC)
+//   - evaluating rules (precision, recall, F-measure, MCC) through a
+//     compiled, memoizing evaluation engine (see NewEvalEngine)
 //   - executing rules over whole sources with pluggable blocking
 //     (token, sorted-neighborhood, q-gram, multi-pass), serial or parallel
 //   - the six synthetic evaluation datasets of the paper
@@ -25,6 +26,7 @@ import (
 
 	"genlink/internal/datagen"
 	"genlink/internal/entity"
+	"genlink/internal/evalengine"
 	"genlink/internal/evalx"
 	"genlink/internal/genlink"
 	"genlink/internal/matching"
@@ -77,6 +79,21 @@ type (
 type (
 	// Confusion is a binary confusion matrix over reference links.
 	Confusion = evalx.Confusion
+	// EngineOptions tunes the compiled evaluation engine (cache sizes,
+	// workers, on/off) — see Config.Engine and NewEvalEngine.
+	EngineOptions = evalengine.Options
+	// EvalEngine batch-evaluates rules over a fixed link set with
+	// cross-generation memoization.
+	EvalEngine = evalengine.Engine
+	// EvalCounts is the engine's confusion count (convertible to
+	// Confusion).
+	EvalCounts = evalengine.Counts
+	// CompiledRule is a rule compiled into flat programs, shareable across
+	// goroutines.
+	CompiledRule = evalengine.Compiled
+	// RuleScorer scores entity pairs against a compiled rule with
+	// per-entity value-set caching (one per goroutine).
+	RuleScorer = evalengine.Scorer
 )
 
 // Matching types.
@@ -124,9 +141,37 @@ func LearnWithValidation(cfg Config, train, val *ReferenceLinks) (*Result, error
 }
 
 // Evaluate computes the confusion matrix of a rule over reference links.
+// Evaluation runs through the compiled engine; EvaluateTreeWalk is the
+// interpreted reference implementation.
 func Evaluate(r *Rule, refs *ReferenceLinks) Confusion {
 	return evalx.Evaluate(r, refs)
 }
+
+// EvaluateTreeWalk computes the confusion matrix by interpreting the rule
+// tree directly — the reference implementation the engine is
+// differentially tested against.
+func EvaluateTreeWalk(r *Rule, refs *ReferenceLinks) Confusion {
+	return evalx.EvaluateTreeWalk(r, refs)
+}
+
+// NewEvalEngine returns a compiled evaluation engine over a fixed set of
+// reference links. Callers that score many rules against the same links —
+// hyper-parameter sweeps, active-learning committees — should reuse one
+// engine so value sets and distances are memoized across calls:
+//
+//	eng := genlinkapi.NewEvalEngine(refs, genlinkapi.EngineOptions{})
+//	for _, r := range rules {
+//		conf := genlinkapi.Confusion(eng.Evaluate(r))
+//		...
+//	}
+func NewEvalEngine(refs *ReferenceLinks, opts EngineOptions) *EvalEngine {
+	return evalengine.New(refs, opts)
+}
+
+// CompileRule compiles a rule into flat post-order programs. The compiled
+// form is immutable; derive one RuleScorer per goroutine with Scorer() to
+// score arbitrary entity pairs with per-entity value-set caching.
+func CompileRule(r *Rule) *CompiledRule { return evalengine.Compile(r) }
 
 // Match executes a rule over two whole sources using the blocker selected
 // in opts (token blocking by default).
