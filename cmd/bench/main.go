@@ -1,13 +1,20 @@
-// Command bench is the repeatable perf harness of the evaluation engine:
-// it measures the hot paths (population fitness evaluation, full learner
-// runs, whole-source matching) with and without the compiled engine and
-// writes the results — ns/op, bytes/op, allocs/op and the derived
-// speedups — to a JSON file, seeding the benchmark trajectory that future
-// performance work diffs against.
+// Command bench is the repeatable perf harness: it measures the hot
+// paths and writes the results — ns/op, bytes/op, allocs/op and the
+// derived speedups — to a JSON file, seeding the benchmark trajectory
+// that future performance work diffs against. Two workloads:
+//
+//   - engine (default): population fitness evaluation, full learner runs
+//     and whole-source matching with and without the compiled evaluation
+//     engine → BENCH_evalengine.json
+//   - index: the incremental matching service (internal/linkindex) —
+//     bulk-load throughput, online Query latency (p50/p99), update
+//     throughput, and the speedup of a single-entity Query over
+//     re-running the batch blocker → BENCH_linkindex.json
 //
 // Usage:
 //
 //	bench                      # Cora, writes BENCH_evalengine.json
+//	bench -workload index      # Cora, writes BENCH_linkindex.json
 //	bench -dataset LinkedMDB -out bench.json
 //	bench -population 120 -iterations 8
 package main
@@ -20,6 +27,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -27,6 +35,7 @@ import (
 	"genlink/internal/entity"
 	"genlink/internal/evalengine"
 	"genlink/internal/genlink"
+	"genlink/internal/linkindex"
 	"genlink/internal/matching"
 	"genlink/internal/rule"
 	"genlink/internal/similarity"
@@ -59,10 +68,13 @@ func main() {
 	log.SetPrefix("bench: ")
 
 	var (
-		out        = flag.String("out", "BENCH_evalengine.json", "output JSON file")
+		out        = flag.String("out", "", "output JSON file (default: BENCH_<workload>.json)")
+		workload   = flag.String("workload", "engine", "bench workload: engine or index")
 		dataset    = flag.String("dataset", "Cora", "paper dataset to bench on")
 		population = flag.Int("population", 60, "population size for the fitness and learner benches")
 		iterations = flag.Int("iterations", 5, "learner iterations for the learner bench")
+		probes     = flag.Int("probes", 200, "query probes for the index workload")
+		blocker    = flag.String("blocker", "multipass", "blocking strategy for the index workload")
 		seed       = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -73,12 +85,29 @@ func main() {
 	}
 	ds := gen(*seed)
 
+	switch *workload {
+	case "engine":
+		if *out == "" {
+			*out = "BENCH_evalengine.json"
+		}
+		runEngineWorkload(ds, *out, *population, *iterations, *seed)
+	case "index":
+		if *out == "" {
+			*out = "BENCH_linkindex.json"
+		}
+		runIndexWorkload(ds, *out, *probes, *blocker, *seed)
+	default:
+		log.Fatalf("unknown workload %q (available: engine, index)", *workload)
+	}
+}
+
+func runEngineWorkload(ds *entity.Dataset, out string, population, iterations int, seed int64) {
 	report := &Report{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		NumCPU:     runtime.NumCPU(),
 		Dataset:    ds.Name,
-		Population: *population,
+		Population: population,
 		RefPairs:   ds.Refs.Len(),
 		Speedups:   map[string]float64{},
 	}
@@ -101,12 +130,12 @@ func main() {
 	// Fitness: one generation's evaluation pass over all reference links,
 	// with a third of the population replaced per iteration the way
 	// crossover would — the acceptance measurement for the engine.
-	pg := newPopulationGen(ds, *seed)
+	pg := newPopulationGen(ds, seed)
 	fitness := func(opts evalengine.Options) func(b *testing.B) {
 		return func(b *testing.B) {
 			eng := evalengine.New(ds.Refs, opts)
-			rng := rand.New(rand.NewSource(*seed))
-			pop := pg.rules(rng, *population)
+			rng := rand.New(rand.NewSource(seed))
+			pop := pg.rules(rng, population)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -126,9 +155,9 @@ func main() {
 	learner := func(disabled bool) func(b *testing.B) {
 		return func(b *testing.B) {
 			cfg := genlink.DefaultConfig()
-			cfg.PopulationSize = *population
-			cfg.MaxIterations = *iterations
-			cfg.Seed = *seed
+			cfg.PopulationSize = population
+			cfg.MaxIterations = iterations
+			cfg.Seed = seed
 			cfg.Workers = 1
 			cfg.Engine.Disabled = disabled
 			for i := 0; i < b.N; i++ {
@@ -168,12 +197,181 @@ func main() {
 		log.Fatal(err)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(out, data, 0o644); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nspeedups: fitness %.1fx, learner %.1fx, matching %.1fx → %s\n",
 		report.Speedups["fitness_evaluation"], report.Speedups["learner"],
-		report.Speedups["matching"], *out)
+		report.Speedups["matching"], out)
+}
+
+// IndexReport is the schema of BENCH_linkindex.json.
+type IndexReport struct {
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	Dataset   string `json:"dataset"`
+	Blocker   string `json:"blocker"`
+	Entities  int    `json:"entities"`
+	Probes    int    `json:"probes"`
+
+	// BulkLoad: seeding the whole corpus under one write lock.
+	BulkLoadNs     float64 `json:"bulkload_ns_total"`
+	BulkLoadPerSec float64 `json:"bulkload_entities_per_sec"`
+	// Query: single-entity top-10 match against the loaded corpus.
+	QueryP50Ns  float64 `json:"query_p50_ns"`
+	QueryP99Ns  float64 `json:"query_p99_ns"`
+	QueryMeanNs float64 `json:"query_mean_ns"`
+	QueryPerSec float64 `json:"query_per_sec"`
+	// Update: replacing an existing entity (re-key + cache invalidation).
+	UpdateNsPerOp float64 `json:"update_ns_per_op"`
+	UpdatePerSec  float64 `json:"update_per_sec"`
+	// Baselines: the batch blocker run once over the full A×B sources, and
+	// run with a singleton A source — what answering one online query
+	// costs without an incremental index.
+	BatchCandidatePairsNs float64 `json:"batch_candidatepairs_ns"`
+	SingleProbeBatchNs    float64 `json:"single_probe_batch_ns"`
+
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+// runIndexWorkload measures the incremental matching service on one
+// dataset: the corpus is the dataset's B source, probes come from its A
+// source, and the rule is the same learned-rule-shaped probe the engine
+// workload uses.
+func runIndexWorkload(ds *entity.Dataset, out string, probes int, blockerName string, seed int64) {
+	bl := matching.BlockerByName(blockerName)
+	if bl == nil {
+		log.Fatalf("unknown blocker %q (available: %v)", blockerName, matching.BlockerNames())
+	}
+	if probes <= 0 {
+		log.Fatalf("-probes must be positive, got %d", probes)
+	}
+	r := probeRule(ds)
+	corpus := ds.B.Entities
+	rng := rand.New(rand.NewSource(seed))
+	probeSet := make([]*entity.Entity, 0, probes)
+	for i := 0; i < probes; i++ {
+		probeSet = append(probeSet, ds.A.Entities[rng.Intn(len(ds.A.Entities))])
+	}
+
+	report := &IndexReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Dataset:   ds.Name,
+		Blocker:   bl.Name(),
+		Entities:  len(corpus),
+		Probes:    len(probeSet),
+		Speedups:  map[string]float64{},
+	}
+
+	// Bulk load (best of 3 fresh indexes).
+	for trial := 0; trial < 3; trial++ {
+		ix := linkindex.New(r, matching.Options{Blocker: bl})
+		t0 := time.Now()
+		ix.BulkLoad(corpus)
+		if ns := float64(time.Since(t0).Nanoseconds()); trial == 0 || ns < report.BulkLoadNs {
+			report.BulkLoadNs = ns
+		}
+	}
+	report.BulkLoadPerSec = float64(len(corpus)) / (report.BulkLoadNs / 1e9)
+	fmt.Printf("%-28s %12.0f ns total   %10.0f entities/sec\n", "index/bulkload", report.BulkLoadNs, report.BulkLoadPerSec)
+
+	// Query latency distribution on the loaded index. One warm pass first
+	// so the scorer's per-entity value caches for the corpus are paid, the
+	// steady state of a long-running service.
+	ix := linkindex.New(r, matching.Options{Blocker: bl})
+	ix.BulkLoad(corpus)
+	for _, p := range probeSet {
+		ix.Query(p, 10)
+	}
+	durs := make([]float64, len(probeSet))
+	var total float64
+	for i, p := range probeSet {
+		t0 := time.Now()
+		ix.Query(p, 10)
+		durs[i] = float64(time.Since(t0).Nanoseconds())
+		total += durs[i]
+	}
+	sort.Float64s(durs)
+	report.QueryP50Ns = quantile(durs, 0.50)
+	report.QueryP99Ns = quantile(durs, 0.99)
+	report.QueryMeanNs = total / float64(len(durs))
+	report.QueryPerSec = 1e9 / report.QueryMeanNs
+	fmt.Printf("%-28s %12.0f ns p50 %12.0f ns p99 %10.0f qps\n", "index/query", report.QueryP50Ns, report.QueryP99Ns, report.QueryPerSec)
+
+	// Update throughput: replace existing entities with fresh values
+	// (re-keys the block structures and invalidates the value caches).
+	// Replacements are cloned before the clock starts so only the index's
+	// own work is measured.
+	updates := 2000
+	replacements := make([]*entity.Entity, updates)
+	for i := range replacements {
+		replacements[i] = corpus[i%len(corpus)].Clone()
+	}
+	t0 := time.Now()
+	for _, e := range replacements {
+		ix.Update(e)
+	}
+	report.UpdateNsPerOp = float64(time.Since(t0).Nanoseconds()) / float64(updates)
+	report.UpdatePerSec = 1e9 / report.UpdateNsPerOp
+	fmt.Printf("%-28s %12.0f ns/op   %10.0f updates/sec\n", "index/update", report.UpdateNsPerOp, report.UpdatePerSec)
+
+	// Baseline 1: the full batch blocker over A×B — what a pipeline
+	// re-runs when anything changes.
+	opts := matching.Options{Blocker: bl}
+	t0 = time.Now()
+	matching.CandidatePairs(bl, ds.A, ds.B, opts)
+	report.BatchCandidatePairsNs = float64(time.Since(t0).Nanoseconds())
+	fmt.Printf("%-28s %12.0f ns\n", "batch/candidatepairs", report.BatchCandidatePairsNs)
+
+	// Baseline 2: batch blocking with a singleton A source — the honest
+	// per-query cost without an index (the blocker still re-indexes B).
+	nSingle := 20
+	if nSingle > len(probeSet) {
+		nSingle = len(probeSet)
+	}
+	t0 = time.Now()
+	for i := 0; i < nSingle; i++ {
+		a := entity.NewSource("probe")
+		a.Add(probeSet[i])
+		matching.CandidatePairs(bl, a, ds.B, opts)
+	}
+	report.SingleProbeBatchNs = float64(time.Since(t0).Nanoseconds()) / float64(nSingle)
+	fmt.Printf("%-28s %12.0f ns/op\n", "batch/single-probe", report.SingleProbeBatchNs)
+
+	report.Speedups["query_vs_batch_candidatepairs"] = report.BatchCandidatePairsNs / report.QueryMeanNs
+	report.Speedups["query_vs_single_probe_batch"] = report.SingleProbeBatchNs / report.QueryMeanNs
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nquery is %.0fx faster than batch CandidatePairs, %.0fx faster than single-probe batch → %s\n",
+		report.Speedups["query_vs_batch_candidatepairs"],
+		report.Speedups["query_vs_single_probe_batch"], out)
+}
+
+// quantile returns the linearly interpolated q-quantile of a sorted
+// sample. Nearest-rank p99 degenerates to the sample maximum below 100
+// samples; interpolation keeps small -probes runs comparable (though
+// ≥100 probes still give the trustworthy tail).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
 // populationGen builds GP-generation-shaped populations for a dataset:

@@ -1,0 +1,321 @@
+// Command genlinkd serves a learned linkage rule as an online matching
+// service: entities are added, updated and removed over HTTP while
+// queries return the top-k matches of an entity against the current
+// corpus — the incremental index (pkg/genlinkapi.NewIndex) instead of the
+// batch pipeline, so nothing is ever re-blocked.
+//
+// Usage:
+//
+//	genlinkd -rule rule.json [-addr :8080] [-blocker multipass] [-threshold 0.5]
+//	genlinkd -dataset Cora [-population 100] [-iterations 10]   # learn at startup, bulk-load side B
+//
+// Endpoints:
+//
+//	POST   /entities        add or update entities; body is one entity
+//	                        {"id": "...", "properties": {"p": ["v", ...]}}
+//	                        or an array of them
+//	DELETE /entities/{id}   remove an entity (404 if unknown)
+//	GET    /entities/{id}   fetch a stored entity
+//	GET    /match?id=X&k=10 top-k matches of stored entity X against the
+//	                        rest of the corpus (k=0: all above threshold)
+//	POST   /match?k=10      top-k matches of the entity in the body,
+//	                        without adding it to the corpus (a stored
+//	                        entity with the same id is excluded as the
+//	                        probe's own record)
+//	GET    /stats           corpus size, index keys, blocker, threshold
+//	GET    /healthz         liveness
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"genlink/pkg/genlinkapi"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("genlinkd: ")
+
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		ruleFile   = flag.String("rule", "", "JSON file holding the linkage rule to serve")
+		dataset    = flag.String("dataset", "", "learn a rule on a paper dataset at startup and bulk-load its B source (alternative to -rule)")
+		population = flag.Int("population", 100, "population size for -dataset startup learning")
+		iterations = flag.Int("iterations", 10, "iterations for -dataset startup learning")
+		seed       = flag.Int64("seed", 1, "random seed for -dataset startup learning")
+		blocker    = flag.String("blocker", "multipass", "blocking strategy: token, sortedneighborhood, qgram or multipass")
+		threshold  = flag.Float64("threshold", 0, "minimum link score (0 = rule match threshold)")
+		k          = flag.Int("k", 10, "default number of matches per query (k= overrides per request)")
+	)
+	flag.Parse()
+
+	bl := genlinkapi.BlockerByName(*blocker)
+	if bl == nil {
+		log.Fatalf("unknown blocker %q (available: %v)", *blocker, genlinkapi.BlockerNames())
+	}
+
+	var (
+		r            *genlinkapi.Rule
+		seedEntities []*genlinkapi.Entity
+	)
+	switch {
+	case *ruleFile != "":
+		data, err := os.ReadFile(*ruleFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err = genlinkapi.ParseRuleJSON(data)
+		if err != nil {
+			log.Fatalf("parse %s: %v", *ruleFile, err)
+		}
+	case *dataset != "":
+		ds := genlinkapi.Dataset(*dataset, *seed)
+		if ds == nil {
+			log.Fatalf("unknown dataset %q (available: %v)", *dataset, genlinkapi.DatasetNames())
+		}
+		cfg := genlinkapi.DefaultConfig()
+		cfg.PopulationSize = *population
+		cfg.MaxIterations = *iterations
+		cfg.Seed = *seed
+		log.Printf("learning rule on %s (population %d, %d iterations)...", ds.Name, *population, *iterations)
+		result, err := genlinkapi.Learn(cfg, ds.Refs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r = result.Best
+		log.Printf("learned: %s", r.Render())
+		seedEntities = ds.B.Entities
+	default:
+		log.Fatal("one of -rule or -dataset is required")
+	}
+
+	ix := genlinkapi.NewIndex(r, genlinkapi.MatchOptions{Blocker: bl, Threshold: *threshold})
+	if len(seedEntities) > 0 {
+		log.Printf("bulk-loaded %d entities", ix.BulkLoad(seedEntities))
+	}
+
+	srv := newServer(ix, *k)
+	log.Printf("serving on %s (blocker %s)", *addr, bl.Name())
+	// Explicit timeouts so stalled clients (slowloris headers, never-
+	// finished bodies, idle keep-alives) cannot pin goroutines forever on
+	// a long-lived service.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.routes(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Fatal(hs.ListenAndServe())
+}
+
+// server wires an index into HTTP handlers. It holds no state of its own
+// beyond the default k: the index is the single synchronized source of
+// truth, so handlers are trivially safe under concurrent requests.
+type server struct {
+	ix       *genlinkapi.Index
+	defaultK int
+}
+
+func newServer(ix *genlinkapi.Index, defaultK int) *server {
+	if defaultK <= 0 {
+		defaultK = 10
+	}
+	return &server{ix: ix, defaultK: defaultK}
+}
+
+// routes builds the HTTP mux (method-qualified patterns, Go 1.22+).
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /entities", s.handlePostEntities)
+	mux.HandleFunc("GET /entities/{id}", s.handleGetEntity)
+	mux.HandleFunc("DELETE /entities/{id}", s.handleDeleteEntity)
+	mux.HandleFunc("GET /match", s.handleMatch)
+	mux.HandleFunc("POST /match", s.handleMatchProbe)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// matchResponse is the JSON shape of both match endpoints.
+type matchResponse struct {
+	Query string          `json:"query"`
+	K     int             `json:"k"`
+	Links []matchLinkJSON `json:"links"`
+}
+
+type matchLinkJSON struct {
+	ID    string  `json:"id"`
+	Score float64 `json:"score"`
+}
+
+func toMatchResponse(query string, k int, links []genlinkapi.MatchedLink) matchResponse {
+	resp := matchResponse{Query: query, K: k, Links: make([]matchLinkJSON, 0, len(links))}
+	for _, l := range links {
+		resp.Links = append(resp.Links, matchLinkJSON{ID: l.BID, Score: l.Score})
+	}
+	return resp
+}
+
+// handlePostEntities decodes one entity or an array and upserts them.
+func (s *server) handlePostEntities(w http.ResponseWriter, r *http.Request) {
+	entities, err := decodeEntities(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// One write-lock acquisition for the whole batch: concurrent queries
+	// see either none or all of it, and bulk seeding pays no per-entity
+	// locking. "added" counts distinct IDs (a repeated ID upserts once).
+	added := s.ix.BulkLoad(entities)
+	writeJSON(w, http.StatusOK, map[string]int{"added": added, "entities": s.ix.Len()})
+}
+
+// decodeEntities accepts `{...}` or `[{...}, ...]` bodies and validates
+// that every entity carries an id.
+func decodeEntities(r *http.Request) ([]*genlinkapi.Entity, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 16<<20))
+	if err != nil {
+		return nil, fmt.Errorf("read body: %w", err)
+	}
+	var entities []*genlinkapi.Entity
+	if first := firstNonSpace(body); first == '[' {
+		if err := json.Unmarshal(body, &entities); err != nil {
+			return nil, fmt.Errorf("invalid entity array: %w", err)
+		}
+	} else {
+		var e genlinkapi.Entity
+		if err := json.Unmarshal(body, &e); err != nil {
+			return nil, fmt.Errorf("invalid entity: %w", err)
+		}
+		entities = append(entities, &e)
+	}
+	for _, e := range entities {
+		if e == nil || e.ID == "" {
+			return nil, errors.New(`every entity needs a non-empty "id"`)
+		}
+	}
+	return entities, nil
+}
+
+// firstNonSpace returns the first non-whitespace byte of b, or 0.
+func firstNonSpace(b []byte) byte {
+	for _, c := range b {
+		switch c {
+		case ' ', '\t', '\r', '\n':
+			continue
+		}
+		return c
+	}
+	return 0
+}
+
+func (s *server) handleGetEntity(w http.ResponseWriter, r *http.Request) {
+	e := s.ix.Get(r.PathValue("id"))
+	if e == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown entity %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, e)
+}
+
+func (s *server) handleDeleteEntity(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.ix.Remove(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown entity %q", id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleMatch answers GET /match?id=X&k=N for a stored entity.
+func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing id parameter"))
+		return
+	}
+	k, err := s.parseK(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	links, ok := s.ix.QueryID(id, k)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown entity %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, toMatchResponse(id, k, links))
+}
+
+// handleMatchProbe answers POST /match?k=N with a probe entity in the
+// body, matching it without indexing it. If the probe's ID is already
+// indexed, the stored record with that ID is treated as the probe's own
+// record and excluded from the results (the Index self-match rule) —
+// probe with a fresh ID to match against the entire corpus.
+func (s *server) handleMatchProbe(w http.ResponseWriter, r *http.Request) {
+	k, err := s.parseK(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	entities, err := decodeEntities(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(entities) != 1 {
+		writeError(w, http.StatusBadRequest, errors.New("POST /match takes exactly one entity"))
+		return
+	}
+	writeJSON(w, http.StatusOK, toMatchResponse(entities[0].ID, k, s.ix.Query(entities[0], k)))
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.ix.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"entities":  st.Entities,
+		"keys":      st.Keys,
+		"blocker":   st.Blocker,
+		"threshold": st.Threshold,
+	})
+}
+
+// parseK reads the k parameter: absent means the server default, 0 is
+// the documented "every link above the threshold", negative is a client
+// error.
+func (s *server) parseK(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("k")
+	if raw == "" {
+		return s.defaultK, nil
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil || k < 0 {
+		return 0, fmt.Errorf("invalid k %q (want 0 for all links, or a positive count)", raw)
+	}
+	return k, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("write response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

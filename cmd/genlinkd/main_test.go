@@ -1,0 +1,313 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+
+	"genlink/pkg/genlinkapi"
+)
+
+// serveRule compares lowercased names by levenshtein and titles by
+// jaccard — the hand-built stand-in for a learned rule so the test
+// doesn't pay for a learning run.
+func serveRule(t *testing.T) *genlinkapi.Rule {
+	t.Helper()
+	r, err := genlinkapi.ParseRuleJSON([]byte(`{
+	  "kind": "aggregation", "function": "max", "children": [
+	    {"kind": "comparison", "function": "levenshtein", "threshold": 2, "children": [
+	      {"kind": "transform", "function": "lowerCase",
+	       "children": [{"kind": "property", "property": "name"}]},
+	      {"kind": "transform", "function": "lowerCase",
+	       "children": [{"kind": "property", "property": "name"}]}]},
+	    {"kind": "comparison", "function": "jaccard", "threshold": 0.8, "children": [
+	      {"kind": "property", "property": "title"},
+	      {"kind": "property", "property": "title"}]}
+	  ]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func newTestServer(t *testing.T) (*httptest.Server, *genlinkapi.Index) {
+	t.Helper()
+	ix := genlinkapi.NewIndex(serveRule(t), genlinkapi.MatchOptions{
+		Blocker: genlinkapi.MultiPass(),
+	})
+	ts := httptest.NewServer(newServer(ix, 10).routes())
+	t.Cleanup(ts.Close)
+	return ts, ix
+}
+
+func entityJSON(id, name, title string) []byte {
+	e := map[string]any{"id": id, "properties": map[string][]string{
+		"name": {name}, "title": {title},
+	}}
+	data, _ := json.Marshal(e)
+	return data
+}
+
+// doJSON issues a request and decodes a JSON response. Errors are
+// reported with Errorf (not Fatalf) so the helper is safe from the
+// writer/reader goroutines of the race test; it returns -1 on transport
+// or decode failure.
+func doJSON(t *testing.T, client *http.Client, method, url string, body []byte, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Errorf("%s %s: %v", method, url, err)
+		return -1
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Errorf("%s %s: %v", method, url, err)
+		return -1
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Errorf("%s %s: decode response: %v", method, url, err)
+			return -1
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServerEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t)
+	c := ts.Client()
+
+	// Health and empty stats.
+	if code := doJSON(t, c, "GET", ts.URL+"/healthz", nil, nil); code != 200 {
+		t.Fatalf("healthz = %d", code)
+	}
+	var stats map[string]any
+	doJSON(t, c, "GET", ts.URL+"/stats", nil, &stats)
+	if stats["entities"].(float64) != 0 {
+		t.Fatalf("fresh stats = %v", stats)
+	}
+
+	// Single add, bulk add, fetch.
+	var added map[string]int
+	if code := doJSON(t, c, "POST", ts.URL+"/entities", entityJSON("a", "Grace Hopper", "compilers"), &added); code != 200 {
+		t.Fatalf("POST /entities = %d", code)
+	}
+	if added["added"] != 1 || added["entities"] != 1 {
+		t.Fatalf("add response = %v", added)
+	}
+	bulk := []byte(`[` + string(entityJSON("b", "grace hoper", "compilers")) + `,` +
+		string(entityJSON("c", "Alan Turing", "computability")) + `]`)
+	doJSON(t, c, "POST", ts.URL+"/entities", bulk, &added)
+	if added["added"] != 2 || added["entities"] != 3 {
+		t.Fatalf("bulk add response = %v", added)
+	}
+	var got map[string]any
+	if code := doJSON(t, c, "GET", ts.URL+"/entities/a", nil, &got); code != 200 || got["id"] != "a" {
+		t.Fatalf("GET /entities/a = %d %v", code, got)
+	}
+
+	// Match a stored entity.
+	var match matchResponse
+	if code := doJSON(t, c, "GET", ts.URL+"/match?id=a&k=5", nil, &match); code != 200 {
+		t.Fatalf("GET /match = %d", code)
+	}
+	if len(match.Links) != 1 || match.Links[0].ID != "b" {
+		t.Fatalf("match links = %v, want just b", match.Links)
+	}
+
+	// Match an external probe without indexing it.
+	if code := doJSON(t, c, "POST", ts.URL+"/match?k=5", entityJSON("probe", "Alan Turing", "computability"), &match); code != 200 {
+		t.Fatalf("POST /match = %d", code)
+	}
+	if len(match.Links) != 1 || match.Links[0].ID != "c" {
+		t.Fatalf("probe match links = %v, want just c", match.Links)
+	}
+	doJSON(t, c, "GET", ts.URL+"/stats", nil, &stats)
+	if stats["entities"].(float64) != 3 {
+		t.Fatalf("probe was indexed: stats = %v", stats)
+	}
+
+	// Delete, then 404s and errors.
+	if code := doJSON(t, c, "DELETE", ts.URL+"/entities/b", nil, nil); code != 204 {
+		t.Fatalf("DELETE = %d", code)
+	}
+	if code := doJSON(t, c, "DELETE", ts.URL+"/entities/b", nil, nil); code != 404 {
+		t.Fatalf("second DELETE = %d", code)
+	}
+	if code := doJSON(t, c, "GET", ts.URL+"/match?id=b", nil, nil); code != 404 {
+		t.Fatalf("match of deleted entity = %d", code)
+	}
+	if code := doJSON(t, c, "GET", ts.URL+"/match", nil, nil); code != 400 {
+		t.Fatalf("match without id = %d", code)
+	}
+	if code := doJSON(t, c, "GET", ts.URL+"/match?id=a&k=x", nil, nil); code != 400 {
+		t.Fatalf("match with bad k = %d", code)
+	}
+	if code := doJSON(t, c, "POST", ts.URL+"/entities", []byte(`{"properties":{}}`), nil); code != 400 {
+		t.Fatalf("entity without id = %d", code)
+	}
+	if code := doJSON(t, c, "POST", ts.URL+"/entities", []byte(`not json`), nil); code != 400 {
+		t.Fatalf("bad JSON = %d", code)
+	}
+}
+
+// TestServerConcurrentQueriesDuringUpdates is the race-enabled
+// integration test: a stream of adds, updates and deletes runs against
+// concurrent match queries. Every response a reader observes must be
+// internally consistent — no duplicate candidates, no self matches, no
+// sub-threshold or unordered scores — and once the stream quiesces the
+// server must answer exactly like the batch matcher on the final corpus
+// (no stale pairs survive).
+func TestServerConcurrentQueriesDuringUpdates(t *testing.T) {
+	ts, _ := newTestServer(t)
+	c := ts.Client()
+
+	names := []string{"Grace Hopper", "grace hoper", "Alan Turing", "Ada Lovelace", "ada lovelace", "John McCarthy"}
+	titles := []string{"compilers", "computability", "analytical engine notes", "lisp"}
+
+	// Each writer owns a disjoint id range so the final corpus is exactly
+	// the union of every writer's last op per id.
+	const perWriter = 25
+	finals := make([]map[string][2]string, 3) // id → (name, title); deleted ids absent
+	var writers, readers sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		finals[w] = make(map[string][2]string)
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			final := finals[w]
+			for i := 0; i < 150; i++ {
+				id := fmt.Sprintf("s%d", w*perWriter+rng.Intn(perWriter))
+				name := names[rng.Intn(len(names))]
+				title := titles[rng.Intn(len(titles))]
+				if rng.Float64() < 0.25 {
+					code := doJSON(t, c, "DELETE", ts.URL+"/entities/"+id, nil, nil)
+					if code != 204 && code != 404 {
+						t.Errorf("DELETE %s = %d", id, code)
+						return
+					}
+					delete(final, id)
+					continue
+				}
+				if code := doJSON(t, c, "POST", ts.URL+"/entities", entityJSON(id, name, title), nil); code != 200 {
+					t.Errorf("POST %s = %d", id, code)
+					return
+				}
+				final[id] = [2]string{name, title}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for i := 0; i < 120; i++ {
+				var match matchResponse
+				var code int
+				if rng.Float64() < 0.5 {
+					id := fmt.Sprintf("s%d", rng.Intn(3*perWriter))
+					code = doJSON(t, c, "GET", fmt.Sprintf("%s/match?id=%s&k=5", ts.URL, id), nil, &match)
+					if code != 200 && code != 404 {
+						t.Errorf("GET /match?id=%s = %d", id, code)
+						return
+					}
+				} else {
+					probe := entityJSON("probe", names[rng.Intn(len(names))], titles[rng.Intn(len(titles))])
+					if code = doJSON(t, c, "POST", ts.URL+"/match?k=5", probe, &match); code != 200 {
+						t.Errorf("POST /match = %d", code)
+						return
+					}
+				}
+				if code != 200 {
+					continue
+				}
+				seen := make(map[string]bool)
+				for j, l := range match.Links {
+					if l.ID == match.Query {
+						t.Errorf("self match in response: %+v", match)
+						return
+					}
+					if seen[l.ID] {
+						t.Errorf("duplicate candidate %q in response: %+v", l.ID, match)
+						return
+					}
+					seen[l.ID] = true
+					if l.Score < 0.5 {
+						t.Errorf("sub-threshold link in response: %+v", l)
+						return
+					}
+					if j > 0 && match.Links[j-1].Score < l.Score {
+						t.Errorf("scores not descending: %+v", match.Links)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	readers.Wait()
+	writers.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Quiescent consistency: the server must now agree exactly with the
+	// batch matcher over the final corpus.
+	corpus := make(map[string][2]string)
+	for _, final := range finals {
+		for id, v := range final {
+			corpus[id] = v
+		}
+	}
+	var stats map[string]any
+	doJSON(t, c, "GET", ts.URL+"/stats", nil, &stats)
+	if int(stats["entities"].(float64)) != len(corpus) {
+		t.Fatalf("final corpus size %v, want %d", stats["entities"], len(corpus))
+	}
+
+	ids := make([]string, 0, len(corpus))
+	for id := range corpus {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	mk := func(id string) *genlinkapi.Entity {
+		e := genlinkapi.NewEntity(id)
+		e.Add("name", corpus[id][0])
+		e.Add("title", corpus[id][1])
+		return e
+	}
+	r := serveRule(t)
+	for _, id := range ids {
+		var match matchResponse
+		if code := doJSON(t, c, "GET", fmt.Sprintf("%s/match?id=%s&k=0", ts.URL, id), nil, &match); code != 200 {
+			t.Fatalf("final GET /match?id=%s = %d", id, code)
+		}
+		a := genlinkapi.NewSource("probe")
+		a.Add(mk(id))
+		b := genlinkapi.NewSource("corpus")
+		for _, other := range ids {
+			if other != id {
+				b.Add(mk(other))
+			}
+		}
+		want := genlinkapi.Match(r, a, b, genlinkapi.MatchOptions{Blocker: genlinkapi.MultiPass()})
+		if len(match.Links) != len(want) {
+			t.Fatalf("final match of %s: %d links, batch wants %d\nserver: %+v\nbatch: %+v",
+				id, len(match.Links), len(want), match.Links, want)
+		}
+		for i, l := range want {
+			if match.Links[i].ID != l.BID || match.Links[i].Score != l.Score {
+				t.Fatalf("final match of %s diverges at %d: server %+v, batch %+v",
+					id, i, match.Links[i], l)
+			}
+		}
+	}
+}

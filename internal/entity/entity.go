@@ -19,11 +19,11 @@ import (
 type Entity struct {
 	// ID uniquely identifies the entity within its data source
 	// (a URI for RDF sources, a record id for tabular sources).
-	ID string
+	ID string `json:"id"`
 
 	// Properties maps a property name to all of its values.
 	// A missing key means the property is not set on this entity.
-	Properties map[string][]string
+	Properties map[string][]string `json:"properties,omitempty"`
 }
 
 // New returns an entity with the given id and no properties.

@@ -1,0 +1,84 @@
+package evalengine
+
+import (
+	"sync"
+
+	"genlink/internal/entity"
+)
+
+// SharedScorer scores entity pairs against a compiled rule like Scorer,
+// but is safe for concurrent use by any number of goroutines: value sets
+// are memoized per (value program, entity) in lock-free maps and the
+// evaluation scratch space is pooled per call. It exists for long-lived
+// serving contexts — the incremental link index queries one shared scorer
+// from every request handler — where entities are mutable: Invalidate
+// drops an entity's cached value sets after it is updated or removed, so
+// the cache never serves values computed from a superseded version.
+//
+// Scores are identical to Scorer.Score and Rule.Evaluate (value programs
+// are pure, so concurrent duplicate computation of the same entry is
+// harmless and both writers store equal values).
+type SharedScorer struct {
+	c *Compiled
+	// cache[i] memoizes value program i: *entity.Entity → []string.
+	cache []sync.Map
+	pool  sync.Pool
+}
+
+// scorerScratch is the per-call evaluation workspace.
+type scorerScratch struct {
+	vstack [][]string
+	sstack []float64
+	dists  []float64
+}
+
+// NewSharedScorer returns a concurrency-safe scorer over the compiled
+// rule. Prefer Scorer for single-goroutine batch work: it avoids the
+// synchronized map and pool on every lookup.
+func (c *Compiled) NewSharedScorer() *SharedScorer {
+	s := &SharedScorer{c: c, cache: make([]sync.Map, len(c.values))}
+	s.pool.New = func() any {
+		return &scorerScratch{
+			vstack: make([][]string, c.vdepth),
+			sstack: make([]float64, c.depth),
+			dists:  make([]float64, len(c.dists)),
+		}
+	}
+	return s
+}
+
+// Score returns the similarity the rule assigns to the pair, identical to
+// Rule.Evaluate(a, b). Safe for concurrent use.
+func (s *SharedScorer) Score(a, b *entity.Entity) float64 {
+	if s.c.opaque {
+		// Rule evaluation is pure; the interpreted walk is concurrency-safe.
+		return s.c.rule.Evaluate(a, b)
+	}
+	sc := s.pool.Get().(*scorerScratch)
+	defer s.pool.Put(sc)
+	for _, d := range s.c.dists {
+		sc.dists[d.id] = d.measure.Distance(s.valueSet(d.a, a, sc), s.valueSet(d.b, b, sc))
+	}
+	return s.c.fold(sc.dists, sc.sstack)
+}
+
+// valueSet returns the memoized value set of a value program for an entity.
+func (s *SharedScorer) valueSet(p *valueProgram, e *entity.Entity, sc *scorerScratch) []string {
+	m := &s.cache[p.id]
+	if v, ok := m.Load(e); ok {
+		return v.([]string)
+	}
+	v := p.eval(e.Values, sc.vstack)
+	m.Store(e, v)
+	return v
+}
+
+// Invalidate drops every cached value set of e. Call it whenever e's
+// properties change or e leaves the corpus; without it the cache would
+// keep serving value sets computed from the old version (or pin a removed
+// entity in memory).
+func (s *SharedScorer) Invalidate(e *entity.Entity) {
+	for i := range s.cache {
+		s.cache[i].Delete(e)
+	}
+}

@@ -1,0 +1,82 @@
+package evalengine_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"genlink/internal/entity"
+	"genlink/internal/evalengine"
+)
+
+// TestSharedScorerMatchesEvaluate pins SharedScorer.Score ≡ Rule.Evaluate
+// on random rules and entities, including after invalidation and entity
+// mutation (the serving-path correctness contract).
+func TestSharedScorerMatchesEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		r := randomRule(rng)
+		scorer := evalengine.Compile(r).NewSharedScorer()
+		entities := make([]*entity.Entity, 8)
+		for i := range entities {
+			entities[i] = randomEntity(rng, "e")
+		}
+		check := func() {
+			for _, a := range entities {
+				for _, b := range entities {
+					got := scorer.Score(a, b)
+					want := r.Evaluate(a, b)
+					if got != want {
+						t.Fatalf("trial %d: SharedScorer.Score=%v, Evaluate=%v\nrule: %s\na: %v\nb: %v",
+							trial, got, want, r.Render(), a, b)
+					}
+				}
+			}
+		}
+		check()
+		// Mutate an entity in place; without invalidation the cache would
+		// keep the stale value sets.
+		e := entities[rng.Intn(len(entities))]
+		*e = *randomEntity(rng, "mutated")
+		scorer.Invalidate(e)
+		check()
+	}
+}
+
+// TestSharedScorerConcurrent exercises concurrent Score and Invalidate
+// calls; run with -race it pins the concurrency-safety contract.
+func TestSharedScorerConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	r := randomRule(rng)
+	scorer := evalengine.Compile(r).NewSharedScorer()
+	entities := make([]*entity.Entity, 32)
+	for i := range entities {
+		entities[i] = randomEntity(rng, "e")
+	}
+	want := make(map[[2]int]float64)
+	for i := range entities {
+		for j := range entities {
+			want[[2]int{i, j}] = r.Evaluate(entities[i], entities[j])
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for n := 0; n < 500; n++ {
+				i, j := rng.Intn(len(entities)), rng.Intn(len(entities))
+				if got := scorer.Score(entities[i], entities[j]); got != want[[2]int{i, j}] {
+					t.Errorf("concurrent Score(%d,%d)=%v, want %v", i, j, got, want[[2]int{i, j}])
+					return
+				}
+				if n%37 == 0 {
+					// Invalidation of an unchanged entity must not change scores.
+					scorer.Invalidate(entities[rng.Intn(len(entities))])
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}

@@ -135,7 +135,7 @@ func (s SortedNeighborhoodBlocker) window() int {
 // names — matching entities get near-identical keys no matter how their
 // values are split into properties.
 func DefaultSortKey(e *entity.Entity) string {
-	toks := tokens(e)
+	toks := Tokens(e)
 	sort.Strings(toks)
 	return strings.Join(toks, " ")
 }
@@ -242,33 +242,61 @@ func (g QGramBlocker) q() int {
 	return g.Q
 }
 
-func (g QGramBlocker) grams(e *entity.Entity) map[string]struct{} {
-	q := g.q()
-	grams := make(map[string]struct{})
-	for _, tok := range tokens(e) {
-		if len(tok) <= q {
-			grams[tok] = struct{}{}
-			continue
-		}
-		for i := 0; i+q <= len(tok); i++ {
-			grams[tok[i:i+q]] = struct{}{}
+// QGramsOf returns the character q-grams of one token (q ≤ 0 means 3).
+// Tokens no longer than q are returned whole; empty tokens yield no grams
+// at all — indexing the empty string as a blocking key would put every
+// entity carrying any empty value into one giant block, and slicing
+// assumptions downstream must never see "" (the guard the fuzz target
+// FuzzQGramsOf pins). Grams are byte-based, matching the batch blocker: a
+// multi-byte rune may be split across grams, which is harmless for
+// blocking (both sides split identically).
+func QGramsOf(tok string, q int) []string {
+	if q <= 0 {
+		q = 3
+	}
+	if tok == "" {
+		return nil
+	}
+	if len(tok) <= q {
+		return []string{tok}
+	}
+	out := make([]string, 0, len(tok)-q+1)
+	for i := 0; i+q <= len(tok); i++ {
+		out = append(out, tok[i:i+q])
+	}
+	return out
+}
+
+// QGramKeys returns the deduplicated q-grams of every token of e — the
+// blocking keys of QGramBlocker, shared with the incremental q-gram index
+// so batch and incremental candidates cannot diverge.
+func QGramKeys(e *entity.Entity, q int) []string {
+	seen := make(map[string]struct{})
+	var out []string
+	for _, tok := range Tokens(e) {
+		for _, gram := range QGramsOf(tok, q) {
+			if _, dup := seen[gram]; dup {
+				continue
+			}
+			seen[gram] = struct{}{}
+			out = append(out, gram)
 		}
 	}
-	return grams
+	return out
 }
 
 // Pairs implements Blocker via an inverted q-gram index over B.
 func (g QGramBlocker) Pairs(a, b *entity.Source, opts Options) []Pair {
 	byGram := make(map[string][]*entity.Entity)
 	for _, eb := range b.Entities {
-		for gram := range g.grams(eb) {
+		for _, gram := range QGramKeys(eb, g.q()) {
 			byGram[gram] = append(byGram[gram], eb)
 		}
 	}
 	var out []Pair
 	for _, ea := range a.Entities {
 		seen := make(map[*entity.Entity]struct{})
-		for gram := range g.grams(ea) {
+		for _, gram := range QGramKeys(ea, g.q()) {
 			block := byGram[gram]
 			if opts.MaxBlockSize > 0 && len(block) > opts.MaxBlockSize {
 				continue

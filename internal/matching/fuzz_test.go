@@ -1,0 +1,90 @@
+package matching
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"genlink/internal/entity"
+)
+
+// FuzzQGramsOf throws adversarial UTF-8 (and invalid byte sequences) at
+// the q-gram key generator: it must never panic, never emit an empty
+// gram, and must cover the whole token.
+func FuzzQGramsOf(f *testing.F) {
+	f.Add("", 3)
+	f.Add("a", 3)
+	f.Add("abc", 3)
+	f.Add("abcdef", 3)
+	f.Add("héllo wörld", 3)
+	f.Add("日本語のテキスト", 2)
+	f.Add("\xff\xfe\x00", 3)
+	f.Add(strings.Repeat("é", 100), 0)
+	f.Add("ab", -5)
+	f.Fuzz(func(t *testing.T, tok string, q int) {
+		grams := QGramsOf(tok, q)
+		if tok == "" && grams != nil {
+			t.Fatalf("QGramsOf(%q, %d) = %q, want nil for empty token", tok, q, grams)
+		}
+		eff := q
+		if eff <= 0 {
+			eff = 3
+		}
+		for _, g := range grams {
+			if g == "" {
+				t.Fatalf("QGramsOf(%q, %d) emitted an empty gram", tok, q)
+			}
+			if len(g) > eff && len(g) != len(tok) {
+				t.Fatalf("QGramsOf(%q, %d) emitted oversized gram %q", tok, q, g)
+			}
+			if !strings.Contains(tok, g) {
+				t.Fatalf("QGramsOf(%q, %d) emitted gram %q not in token", tok, q, g)
+			}
+		}
+		if tok != "" {
+			want := len(tok) - eff + 1
+			if want < 1 {
+				want = 1
+			}
+			if len(grams) != want {
+				t.Fatalf("QGramsOf(%q, %d) returned %d grams, want %d", tok, q, len(grams), want)
+			}
+		}
+	})
+}
+
+// FuzzBlockingKeys runs every key-extraction helper the blockers share
+// over an adversarial single-property entity: tokenization, q-gram keys
+// and the sorted-neighborhood sort keys must not panic and must stay
+// internally consistent (no empty tokens, no empty grams, valid UTF-8
+// never broken by the reversed key).
+func FuzzBlockingKeys(f *testing.F) {
+	f.Add("Scalable  Analysis of\tNetworks")
+	f.Add("")
+	f.Add("   ")
+	f.Add("a b")
+	f.Add("\xf0\x28\x8c\x28 broken utf8")
+	f.Add("ＡＢＣ　ｄｅｆ")
+	f.Fuzz(func(t *testing.T, value string) {
+		e := entity.New("probe")
+		e.Add("p", value)
+		for _, tok := range Tokens(e) {
+			if tok == "" {
+				t.Fatalf("Tokens produced an empty token from %q", value)
+			}
+		}
+		for _, g := range QGramKeys(e, 3) {
+			if g == "" {
+				t.Fatalf("QGramKeys produced an empty gram from %q", value)
+			}
+		}
+		key := DefaultSortKey(e)
+		rev := ReversedKey(DefaultSortKey)(e)
+		if utf8.ValidString(key) && !utf8.ValidString(rev) {
+			t.Fatalf("ReversedKey broke valid UTF-8 key %q -> %q", key, rev)
+		}
+		if utf8.ValidString(key) && utf8.RuneCountInString(rev) != utf8.RuneCountInString(key) {
+			t.Fatalf("ReversedKey changed rune count: %q -> %q", key, rev)
+		}
+	})
+}

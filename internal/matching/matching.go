@@ -66,11 +66,11 @@ type Index struct {
 	byToken map[string][]*entity.Entity
 }
 
-// tokens returns the deduplicated lowercased whitespace-split tokens of
+// Tokens returns the deduplicated lowercased whitespace-split tokens of
 // every property value of e, in unspecified order. Every blocking
-// strategy tokenizes through this single helper so the strategies cannot
-// silently diverge.
-func tokens(e *entity.Entity) []string {
+// strategy — batch and incremental (internal/linkindex) — tokenizes
+// through this single helper so the strategies cannot silently diverge.
+func Tokens(e *entity.Entity) []string {
 	seen := make(map[string]struct{})
 	var out []string
 	for _, values := range e.Properties {
@@ -91,7 +91,7 @@ func tokens(e *entity.Entity) []string {
 func BuildIndex(src *entity.Source) *Index {
 	idx := &Index{byToken: make(map[string][]*entity.Entity)}
 	for _, e := range src.Entities {
-		for _, tok := range tokens(e) {
+		for _, tok := range Tokens(e) {
 			idx.byToken[tok] = append(idx.byToken[tok], e)
 		}
 	}
@@ -106,7 +106,7 @@ func (idx *Index) Tokens() int { return len(idx.byToken) }
 func (idx *Index) Candidates(e *entity.Entity, maxBlock int) []*entity.Entity {
 	seen := make(map[*entity.Entity]struct{})
 	var out []*entity.Entity
-	for _, tok := range tokens(e) {
+	for _, tok := range Tokens(e) {
 		block := idx.byToken[tok]
 		if maxBlock > 0 && len(block) > maxBlock {
 			continue

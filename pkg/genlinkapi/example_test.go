@@ -199,3 +199,60 @@ func ExampleNewEvalEngine() {
 	// committee has a strong rule: true
 	// engine ≡ tree-walk: true
 }
+
+// ExampleNewIndex serves a linkage rule online: entities are added,
+// updated and removed one at a time, and each Query matches a probe
+// against the current corpus without re-blocking anything — the
+// service-mode counterpart of Match (cmd/genlinkd wraps this in HTTP).
+func ExampleNewIndex() {
+	ruleJSON := `{
+	  "kind": "comparison", "function": "levenshtein", "threshold": 2,
+	  "children": [
+	    {"kind": "transform", "function": "lowerCase",
+	     "children": [{"kind": "property", "property": "name"}]},
+	    {"kind": "transform", "function": "lowerCase",
+	     "children": [{"kind": "property", "property": "name"}]}
+	  ]
+	}`
+	r, err := genlinkapi.ParseRuleJSON([]byte(ruleJSON))
+	if err != nil {
+		panic(err)
+	}
+
+	// Q-gram blocking keeps typo'd duplicates reachable; the zero options
+	// otherwise mean token blocking and the default match threshold.
+	ix := genlinkapi.NewIndex(r, genlinkapi.MatchOptions{
+		Blocker: genlinkapi.QGramBlocking(0),
+	})
+
+	add := func(id, name string) {
+		e := genlinkapi.NewEntity(id)
+		e.Add("name", name)
+		ix.Add(e)
+	}
+	add("p1", "Grace Hopper")
+	add("p2", "Grace Hoper") // a typo'd duplicate
+	add("p3", "Alan Turing")
+
+	// Match a stored entity against the rest of the corpus.
+	links, _ := ix.QueryID("p1", 3)
+	for _, l := range links {
+		fmt.Printf("%s matches %s (score %.2f)\n", l.AID, l.BID, l.Score)
+	}
+
+	// Updates take effect immediately: fix the typo, then re-query.
+	fixed := genlinkapi.NewEntity("p2")
+	fixed.Add("name", "Grace Hopper")
+	ix.Update(fixed)
+	links, _ = ix.QueryID("p1", 3)
+	fmt.Printf("after update: top score %.2f\n", links[0].Score)
+
+	// Removal, too.
+	ix.Remove("p2")
+	links, _ = ix.QueryID("p1", 3)
+	fmt.Println("after removal:", len(links), "matches, corpus size", ix.Len())
+	// Output:
+	// p1 matches p2 (score 0.50)
+	// after update: top score 1.00
+	// after removal: 0 matches, corpus size 2
+}

@@ -10,6 +10,9 @@
 //     compiled, memoizing evaluation engine (see NewEvalEngine)
 //   - executing rules over whole sources with pluggable blocking
 //     (token, sorted-neighborhood, q-gram, multi-pass), serial or parallel
+//   - serving rules online over a mutable corpus: NewIndex returns an
+//     incremental, concurrency-safe matching index with Add/Update/Remove
+//     and top-k Query (see cmd/genlinkd for the HTTP server around it)
 //   - the six synthetic evaluation datasets of the paper
 //
 // Quickstart:
@@ -29,6 +32,7 @@ import (
 	"genlink/internal/evalengine"
 	"genlink/internal/evalx"
 	"genlink/internal/genlink"
+	"genlink/internal/linkindex"
 	"genlink/internal/matching"
 	"genlink/internal/rdf"
 	"genlink/internal/rule"
@@ -107,6 +111,16 @@ type (
 	Blocker = matching.Blocker
 	// CandidatePair is an entity pair proposed by a Blocker.
 	CandidatePair = matching.Pair
+)
+
+// Incremental matching service types.
+type (
+	// Index is a mutable, concurrency-safe matching index over one entity
+	// corpus: Add/Update/Remove entities online and Query for the top-k
+	// matches of a probe entity, scored through the compiled rule engine.
+	Index = linkindex.Index
+	// IndexStats summarizes an Index (corpus size, key entries, strategy).
+	IndexStats = linkindex.Stats
 )
 
 // NewEntity returns an entity with the given id.
@@ -189,6 +203,22 @@ func MatchParallel(r *Rule, a, b *Source, opts MatchOptions, workers int) []Matc
 // quadratic. It anchors blocking-quality measurements.
 func MatchCartesian(r *Rule, a, b *Source, opts MatchOptions) []MatchedLink {
 	return matching.MatchCartesian(r, a, b, opts)
+}
+
+// NewIndex returns an empty incremental matching index serving the given
+// rule — the online counterpart of Match. Entities enter the corpus with
+// Index.Add/Update/BulkLoad and leave with Index.Remove; Index.Query
+// matches a probe against the current corpus and returns the top-k links
+// without re-blocking anything. opts follows MatchOptions semantics (zero
+// Threshold means the rule match threshold, nil Blocker means token
+// blocking). All Index methods are safe for concurrent use; queries run
+// concurrently and serialize only against writes.
+//
+// Incremental candidates are differentially tested to be identical to
+// running the batch Blocker on the same surviving corpus, so switching a
+// pipeline from Match to an Index changes latency, never semantics.
+func NewIndex(r *Rule, opts MatchOptions) *Index {
+	return linkindex.New(r, opts)
 }
 
 // TokenBlocking returns the default blocking strategy: candidates share a
