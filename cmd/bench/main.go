@@ -9,17 +9,29 @@
 //   - index: the incremental matching service (internal/linkindex) —
 //     bulk-load throughput, online Query latency (p50/p99), update
 //     throughput, and the speedup of a single-entity Query over
-//     re-running the batch blocker → BENCH_linkindex.json
+//     re-running the batch blocker → the "index" section of
+//     BENCH_linkindex.json
+//   - shard: read/write contention on the sharded index — concurrent
+//     writers (batched Apply upserts) against concurrent readers
+//     (top-10 queries) on a single-shard index vs an N-shard index,
+//     plus solo update throughput per write path → the "shard" section
+//     of BENCH_linkindex.json
+//
+// BENCH_linkindex.json holds one JSON object with an "index" and a
+// "shard" section; each workload rewrites its own section and preserves
+// the other.
 //
 // Usage:
 //
 //	bench                      # Cora, writes BENCH_evalengine.json
 //	bench -workload index      # Cora, writes BENCH_linkindex.json
+//	bench -workload shard -shards 8 -mixdur 2s
 //	bench -dataset LinkedMDB -out bench.json
 //	bench -population 120 -iterations 8
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,6 +40,8 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -73,8 +87,15 @@ func main() {
 		dataset    = flag.String("dataset", "Cora", "paper dataset to bench on")
 		population = flag.Int("population", 60, "population size for the fitness and learner benches")
 		iterations = flag.Int("iterations", 5, "learner iterations for the learner bench")
-		probes     = flag.Int("probes", 200, "query probes for the index workload")
-		blocker    = flag.String("blocker", "multipass", "blocking strategy for the index workload")
+		probes     = flag.Int("probes", 200, "query probes for the index and shard workloads")
+		blocker    = flag.String("blocker", "multipass", "blocking strategy for the index and shard workloads")
+		shards     = flag.Int("shards", 0, "shard count for the shard workload (0 = one per CPU)")
+		mixWriters = flag.Int("mixwriters", 4, "writer goroutines for the shard workload's mixed load")
+		mixReaders = flag.Int("mixreaders", 4, "reader goroutines for the shard workload's mixed load")
+		mixDur     = flag.Duration("mixdur", time.Second, "duration of each mixed-load phase in the shard workload")
+		mixRate    = flag.Float64("mixrate", 5000, "offered write rate (entities/sec) across all writers in the shard workload")
+		mixBatch   = flag.Int("mixbatch", 512, "entities per Apply batch in the shard workload's mixed load")
+		mixQRate   = flag.Float64("mixqrate", 400, "offered query rate (queries/sec) across all readers in the shard workload")
 		seed       = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -96,8 +117,23 @@ func main() {
 			*out = "BENCH_linkindex.json"
 		}
 		runIndexWorkload(ds, *out, *probes, *blocker, *seed)
+	case "shard":
+		if *out == "" {
+			*out = "BENCH_linkindex.json"
+		}
+		n := *shards
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		if n < 2 {
+			// The workload is a single-vs-sharded comparison; measuring
+			// "sharded" at n=1 would just duplicate the baseline.
+			log.Printf("-shards resolved to %d; flooring at 2 so the comparison is meaningful", n)
+			n = 2
+		}
+		runShardWorkload(ds, *out, *probes, *blocker, n, *mixWriters, *mixReaders, *mixDur, *mixRate, *mixQRate, *mixBatch, *seed)
 	default:
-		log.Fatalf("unknown workload %q (available: engine, index)", *workload)
+		log.Fatalf("unknown workload %q (available: engine, index, shard)", *workload)
 	}
 }
 
@@ -344,17 +380,296 @@ func runIndexWorkload(ds *entity.Dataset, out string, probes int, blockerName st
 	report.Speedups["query_vs_batch_candidatepairs"] = report.BatchCandidatePairsNs / report.QueryMeanNs
 	report.Speedups["query_vs_single_probe_batch"] = report.SingleProbeBatchNs / report.QueryMeanNs
 
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		log.Fatal(err)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(out, data, 0o644); err != nil {
-		log.Fatal(err)
-	}
+	writeLinkIndexSection(out, "index", report)
 	fmt.Printf("\nquery is %.0fx faster than batch CandidatePairs, %.0fx faster than single-probe batch → %s\n",
 		report.Speedups["query_vs_batch_candidatepairs"],
 		report.Speedups["query_vs_single_probe_batch"], out)
+}
+
+// writeLinkIndexSection writes one workload's report into its section of
+// the combined BENCH_linkindex.json file ({"index": ..., "shard": ...}),
+// preserving the other section if the file already holds one. A file in
+// the pre-section flat layout is migrated by dropping it.
+func writeLinkIndexSection(out, section string, v any) {
+	sections := make(map[string]json.RawMessage)
+	if data, err := os.ReadFile(out); err == nil {
+		var existing map[string]json.RawMessage
+		if json.Unmarshal(data, &existing) == nil {
+			for _, key := range []string{"index", "shard"} {
+				if raw, ok := existing[key]; ok {
+					sections[key] = raw
+				}
+			}
+		}
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sections[section] = raw
+	compact, err := json.Marshal(sections)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, compact, "", "  "); err != nil {
+		log.Fatal(err)
+	}
+	data := append(pretty.Bytes(), '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// MixedLoad is one configuration's measurements in the shard workload.
+type MixedLoad struct {
+	Shards int `json:"shards"`
+
+	// BulkLoadPerSec: seeding the corpus through the Apply pipeline.
+	BulkLoadPerSec float64 `json:"bulkload_entities_per_sec"`
+	// UpdatePerEntityPerSec: solo per-entity Update loop (the PR 3 write
+	// path, one lock + one sorted-list memmove per entity).
+	UpdatePerEntityPerSec float64 `json:"update_per_entity_per_sec"`
+	// UpdateBatchedPerSec: solo batched updates through Apply (one lock
+	// per shard per batch, bulk remove + append-then-sort).
+	UpdateBatchedPerSec float64 `json:"update_batched_per_sec"`
+
+	// Mixed load: writers stream batched updates while readers query.
+	MixedWritesPerSec  float64 `json:"mixed_writes_per_sec"`
+	MixedQueriesPerSec float64 `json:"mixed_queries_per_sec"`
+	MixedQueryP50Ns    float64 `json:"mixed_query_p50_ns"`
+	MixedQueryP99Ns    float64 `json:"mixed_query_p99_ns"`
+}
+
+// ShardReport is the "shard" section of BENCH_linkindex.json: the same
+// contention workload on a single-shard index (the retired single-mutex
+// design as the N=1 case) and on an N-shard index.
+type ShardReport struct {
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	Dataset   string `json:"dataset"`
+	Blocker   string `json:"blocker"`
+	Entities  int    `json:"entities"`
+	Writers   int    `json:"writers"`
+	Readers   int    `json:"readers"`
+	BatchSize int    `json:"batch_size"`
+	// OfferedWritesPerSec is the fixed write arrival rate of the mixed
+	// phase (the workload measures contention at a given load, not a
+	// saturated CPU split).
+	OfferedWritesPerSec float64 `json:"offered_writes_per_sec"`
+
+	SingleShard MixedLoad `json:"single_shard"`
+	Sharded     MixedLoad `json:"sharded"`
+
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+// runShardWorkload measures read/write contention: for each shard count
+// (1, then n) the corpus is bulk-loaded, solo update throughput is
+// measured on both write paths, and then mixWriters goroutines stream
+// batched replacement upserts while mixReaders goroutines run top-10
+// queries for mixDur — writes/sec, queries/sec and the query latency
+// distribution under write pressure.
+func runShardWorkload(ds *entity.Dataset, out string, probes int, blockerName string, n, mixWriters, mixReaders int, mixDur time.Duration, mixRate, mixQRate float64, batchSize int, seed int64) {
+	bl := matching.BlockerByName(blockerName)
+	if bl == nil {
+		log.Fatalf("unknown blocker %q (available: %v)", blockerName, matching.BlockerNames())
+	}
+	if probes <= 0 || mixWriters <= 0 || mixReaders <= 0 {
+		log.Fatal("-probes, -mixwriters and -mixreaders must be positive")
+	}
+	if mixRate <= 0 || mixQRate <= 0 {
+		// A non-positive rate would degenerate the open-loop pacing into a
+		// saturating tight loop — exactly the measurement the harness
+		// exists to avoid.
+		log.Fatal("-mixrate and -mixqrate must be positive")
+	}
+	if mixDur <= 0 {
+		log.Fatal("-mixdur must be positive")
+	}
+	r := probeRule(ds)
+	corpus := ds.B.Entities
+	rng := rand.New(rand.NewSource(seed))
+	probeSet := make([]*entity.Entity, 0, probes)
+	for i := 0; i < probes; i++ {
+		probeSet = append(probeSet, ds.A.Entities[rng.Intn(len(ds.A.Entities))])
+	}
+
+	if batchSize <= 0 {
+		batchSize = 512
+	}
+	report := &ShardReport{
+		Generated:           time.Now().UTC().Format(time.RFC3339),
+		GoVersion:           runtime.Version(),
+		NumCPU:              runtime.NumCPU(),
+		Dataset:             ds.Name,
+		Blocker:             bl.Name(),
+		Entities:            len(corpus),
+		Writers:             mixWriters,
+		Readers:             mixReaders,
+		BatchSize:           batchSize,
+		OfferedWritesPerSec: mixRate,
+		Speedups:            map[string]float64{},
+	}
+
+	measure := func(shards int) MixedLoad {
+		m := MixedLoad{Shards: shards}
+		opts := matching.Options{Blocker: bl}
+
+		// Bulk load (best of 3 fresh indexes).
+		var bulkNs float64
+		for trial := 0; trial < 3; trial++ {
+			ix := linkindex.NewSharded(r, shards, opts)
+			t0 := time.Now()
+			ix.BulkLoad(corpus)
+			if ns := float64(time.Since(t0).Nanoseconds()); trial == 0 || ns < bulkNs {
+				bulkNs = ns
+			}
+		}
+		m.BulkLoadPerSec = float64(len(corpus)) / (bulkNs / 1e9)
+
+		ix := linkindex.NewSharded(r, shards, opts)
+		ix.BulkLoad(corpus)
+		for _, p := range probeSet {
+			ix.Query(p, 10) // warm the per-shard value caches
+		}
+
+		// Solo update throughput, both write paths. Replacements are cloned
+		// before the clock starts so only the index's own work is measured.
+		updates := 2048
+		replacements := make([]*entity.Entity, updates)
+		for i := range replacements {
+			replacements[i] = corpus[i%len(corpus)].Clone()
+		}
+		t0 := time.Now()
+		for _, e := range replacements {
+			ix.Update(e)
+		}
+		m.UpdatePerEntityPerSec = float64(updates) / time.Since(t0).Seconds()
+		t0 = time.Now()
+		for i := 0; i < updates; i += batchSize {
+			hi := i + batchSize
+			if hi > updates {
+				hi = updates
+			}
+			ix.Apply(linkindex.Batch{Upserts: replacements[i:hi]})
+		}
+		m.UpdateBatchedPerSec = float64(updates) / time.Since(t0).Seconds()
+
+		// Mixed load: writers stream batches of replacement upserts while
+		// readers query. Batches are pre-cloned per writer.
+		poolSize := 8 * batchSize
+		perWriter := make([][]*entity.Entity, mixWriters)
+		for w := range perWriter {
+			pool := make([]*entity.Entity, poolSize)
+			for i := range pool {
+				pool[i] = corpus[(w*poolSize+i)%len(corpus)].Clone()
+			}
+			perWriter[w] = pool
+		}
+		var (
+			wg        sync.WaitGroup
+			written   atomic.Int64
+			queried   atomic.Int64
+			latMu     sync.Mutex
+			latencies []float64
+		)
+		// Writers offer a fixed arrival rate (batches spaced by interval)
+		// rather than a saturating tight loop: the mixed phase measures how
+		// much lock contention writes inflict on queries, not how the two
+		// split a saturated CPU.
+		interval := time.Duration(float64(batchSize) / (mixRate / float64(mixWriters)) * float64(time.Second))
+		start := time.Now()
+		deadline := start.Add(mixDur)
+		for w := 0; w < mixWriters; w++ {
+			wg.Add(1)
+			go func(pool []*entity.Entity) {
+				defer wg.Done()
+				next := start
+				for i := 0; ; i += batchSize {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					// Check the deadline after sleeping so no batch fires
+					// (and gets counted) past it.
+					if !time.Now().Before(deadline) {
+						return
+					}
+					next = next.Add(interval)
+					lo := i % len(pool)
+					hi := lo + batchSize
+					if hi > len(pool) {
+						hi = len(pool)
+					}
+					ix.Apply(linkindex.Batch{Upserts: pool[lo:hi]})
+					written.Add(int64(hi - lo))
+				}
+			}(perWriter[w])
+		}
+		// Readers are open-loop too (fixed offered query rate): a
+		// closed-loop reader saturates spare CPU and scheduler queueing
+		// noise swamps the lock-stall signal the workload exists to
+		// measure. With idle headroom, latency = per-query work + time
+		// blocked behind writers' shard locks.
+		qInterval := time.Duration(float64(time.Second) / (mixQRate / float64(mixReaders)))
+		for g := 0; g < mixReaders; g++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				local := make([]float64, 0, 4096)
+				next := start
+				for {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					if !time.Now().Before(deadline) {
+						break
+					}
+					next = next.Add(qInterval)
+					p := probeSet[rng.Intn(len(probeSet))]
+					t0 := time.Now()
+					ix.Query(p, 10)
+					local = append(local, float64(time.Since(t0).Nanoseconds()))
+					queried.Add(1)
+				}
+				latMu.Lock()
+				latencies = append(latencies, local...)
+				latMu.Unlock()
+			}(seed + int64(g))
+		}
+		wg.Wait()
+		// Rates over the actual span (the last scheduled op may finish
+		// past the nominal deadline), not the nominal duration.
+		elapsed := time.Since(start).Seconds()
+		m.MixedWritesPerSec = float64(written.Load()) / elapsed
+		m.MixedQueriesPerSec = float64(queried.Load()) / elapsed
+		sort.Float64s(latencies)
+		if len(latencies) > 0 {
+			m.MixedQueryP50Ns = quantile(latencies, 0.50)
+			m.MixedQueryP99Ns = quantile(latencies, 0.99)
+		}
+		fmt.Printf("%-28s %10.0f wr/s %10.0f q/s %10.0f ns p50 %12.0f ns p99 (solo upd: %.0f/s entity, %.0f/s batch)\n",
+			fmt.Sprintf("shard/mixed(n=%d)", shards), m.MixedWritesPerSec, m.MixedQueriesPerSec,
+			m.MixedQueryP50Ns, m.MixedQueryP99Ns, m.UpdatePerEntityPerSec, m.UpdateBatchedPerSec)
+		return m
+	}
+
+	report.SingleShard = measure(1)
+	report.Sharded = measure(n)
+
+	report.Speedups["mixed_queries_sharded_vs_single"] = report.Sharded.MixedQueriesPerSec / report.SingleShard.MixedQueriesPerSec
+	report.Speedups["mixed_writes_sharded_vs_single"] = report.Sharded.MixedWritesPerSec / report.SingleShard.MixedWritesPerSec
+	report.Speedups["mixed_query_p50_single_vs_sharded"] = report.SingleShard.MixedQueryP50Ns / report.Sharded.MixedQueryP50Ns
+	report.Speedups["update_batched_vs_per_entity_single"] = report.SingleShard.UpdateBatchedPerSec / report.SingleShard.UpdatePerEntityPerSec
+	report.Speedups["update_batched_sharded_vs_single"] = report.Sharded.UpdateBatchedPerSec / report.SingleShard.UpdateBatchedPerSec
+
+	writeLinkIndexSection(out, "shard", report)
+	fmt.Printf("\nsharded (n=%d) vs single-shard under mixed load: %.1fx queries/s, %.1fx writes/s, %.1fx lower p50 → %s\n",
+		n, report.Speedups["mixed_queries_sharded_vs_single"],
+		report.Speedups["mixed_writes_sharded_vs_single"],
+		report.Speedups["mixed_query_p50_single_vs_sharded"], out)
 }
 
 // quantile returns the linearly interpolated q-quantile of a sorted

@@ -1,19 +1,29 @@
 // Command genlinkd serves a learned linkage rule as an online matching
 // service: entities are added, updated and removed over HTTP while
 // queries return the top-k matches of an entity against the current
-// corpus — the incremental index (pkg/genlinkapi.NewIndex) instead of the
-// batch pipeline, so nothing is ever re-blocked.
+// corpus — the incremental sharded index (pkg/genlinkapi.NewShardedIndex)
+// instead of the batch pipeline, so nothing is ever re-blocked.
 //
 // Usage:
 //
-//	genlinkd -rule rule.json [-addr :8080] [-blocker multipass] [-threshold 0.5]
+//	genlinkd -rule rule.json [-addr :8080] [-blocker multipass] [-threshold 0.5] [-shards 0]
 //	genlinkd -dataset Cora [-population 100] [-iterations 10]   # learn at startup, bulk-load side B
+//	genlinkd -rule rule.json -snapshot index.snap               # restore if present, flush on shutdown
+//
+// The corpus is hash-partitioned over -shards partitions (0 means one
+// per CPU), so writes stall only the shard they touch and queries fan
+// out in parallel. With -snapshot, the index is restored from the
+// snapshot file at startup when it exists (taking precedence over
+// -rule/-dataset seeding), saved on demand via POST /snapshot, and
+// flushed a final time on graceful shutdown (SIGINT/SIGTERM drains
+// in-flight requests first).
 //
 // Endpoints:
 //
 //	POST   /entities        add or update entities; body is one entity
 //	                        {"id": "...", "properties": {"p": ["v", ...]}}
-//	                        or an array of them
+//	                        or an array of them; the whole body is applied
+//	                        as one batch through the sharded write pipeline
 //	DELETE /entities/{id}   remove an entity (404 if unknown)
 //	GET    /entities/{id}   fetch a stored entity
 //	GET    /match?id=X&k=10 top-k matches of stored entity X against the
@@ -22,20 +32,31 @@
 //	                        without adding it to the corpus (a stored
 //	                        entity with the same id is excluded as the
 //	                        probe's own record)
-//	GET    /stats           corpus size, index keys, blocker, threshold
+//	POST   /snapshot        write a snapshot to the -snapshot path
+//	                        (409 if the server runs without -snapshot)
+//	GET    /stats           corpus size, index keys, blocker, threshold,
+//	                        shard count and per-shard sizes
+//	GET    /metrics         expvar-style counters: entities, queries,
+//	                        writes, deletes, snapshots, per-shard sizes,
+//	                        query latency buckets
 //	GET    /healthz         liveness
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"genlink/pkg/genlinkapi"
@@ -55,6 +76,8 @@ func main() {
 		blocker    = flag.String("blocker", "multipass", "blocking strategy: token, sortedneighborhood, qgram or multipass")
 		threshold  = flag.Float64("threshold", 0, "minimum link score (0 = rule match threshold)")
 		k          = flag.Int("k", 10, "default number of matches per query (k= overrides per request)")
+		shards     = flag.Int("shards", 0, "index shard count (0 = one per CPU)")
+		snapshot   = flag.String("snapshot", "", "snapshot file: restored at startup if present, written by POST /snapshot and on shutdown")
 	)
 	flag.Parse()
 
@@ -63,48 +86,14 @@ func main() {
 		log.Fatalf("unknown blocker %q (available: %v)", *blocker, genlinkapi.BlockerNames())
 	}
 
-	var (
-		r            *genlinkapi.Rule
-		seedEntities []*genlinkapi.Entity
-	)
-	switch {
-	case *ruleFile != "":
-		data, err := os.ReadFile(*ruleFile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		r, err = genlinkapi.ParseRuleJSON(data)
-		if err != nil {
-			log.Fatalf("parse %s: %v", *ruleFile, err)
-		}
-	case *dataset != "":
-		ds := genlinkapi.Dataset(*dataset, *seed)
-		if ds == nil {
-			log.Fatalf("unknown dataset %q (available: %v)", *dataset, genlinkapi.DatasetNames())
-		}
-		cfg := genlinkapi.DefaultConfig()
-		cfg.PopulationSize = *population
-		cfg.MaxIterations = *iterations
-		cfg.Seed = *seed
-		log.Printf("learning rule on %s (population %d, %d iterations)...", ds.Name, *population, *iterations)
-		result, err := genlinkapi.Learn(cfg, ds.Refs)
-		if err != nil {
-			log.Fatal(err)
-		}
-		r = result.Best
-		log.Printf("learned: %s", r.Render())
-		seedEntities = ds.B.Entities
-	default:
-		log.Fatal("one of -rule or -dataset is required")
+	ix, err := buildIndex(*ruleFile, *dataset, *population, *iterations, *seed, *shards, *threshold, *snapshot, bl)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	ix := genlinkapi.NewIndex(r, genlinkapi.MatchOptions{Blocker: bl, Threshold: *threshold})
-	if len(seedEntities) > 0 {
-		log.Printf("bulk-loaded %d entities", ix.BulkLoad(seedEntities))
-	}
-
-	srv := newServer(ix, *k)
-	log.Printf("serving on %s (blocker %s)", *addr, bl.Name())
+	srv := newServer(ix, *k, *snapshot)
+	st := ix.Stats()
+	log.Printf("serving on %s (blocker %s, %d shards, %d entities)", *addr, st.Blocker, st.Shards, st.Entities)
 	// Explicit timeouts so stalled clients (slowloris headers, never-
 	// finished bodies, idle keep-alives) cannot pin goroutines forever on
 	// a long-lived service.
@@ -116,22 +105,174 @@ func main() {
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Fatal(hs.ListenAndServe())
+
+	// Graceful shutdown: SIGINT/SIGTERM stops accepting connections,
+	// drains in-flight requests, then flushes a final snapshot so nothing
+	// written since the last POST /snapshot is lost.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutting down: draining in-flight requests...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		if err := srv.flushSnapshot(); err != nil {
+			log.Printf("final snapshot: %v", err)
+		} else if *snapshot != "" {
+			log.Printf("final snapshot written to %s", *snapshot)
+		}
+	}
 }
 
-// server wires an index into HTTP handlers. It holds no state of its own
-// beyond the default k: the index is the single synchronized source of
-// truth, so handlers are trivially safe under concurrent requests.
+// buildIndex constructs the serving index: restored from the snapshot
+// file when one exists, otherwise fresh from -rule or learned on
+// -dataset (bulk-loading the dataset's B source).
+func buildIndex(ruleFile, dataset string, population, iterations int, seed int64, shards int, threshold float64, snapshot string, bl genlinkapi.Blocker) (*genlinkapi.Index, error) {
+	if snapshot != "" {
+		switch _, err := os.Stat(snapshot); {
+		case err == nil:
+			ix, err := genlinkapi.RestoreIndex(snapshot, genlinkapi.IndexRestoreOptions{Shards: shards, Blocker: bl})
+			if err != nil {
+				return nil, fmt.Errorf("restore %s: %w", snapshot, err)
+			}
+			// The snapshot's recorded options win so the restored index
+			// answers exactly like the one that wrote it; say so, since
+			// -blocker/-threshold flags are not applied on this path.
+			st := ix.Stats()
+			log.Printf("restored %d entities from %s (snapshot options in effect: blocker %s, threshold %v)",
+				ix.Len(), snapshot, st.Blocker, st.Threshold)
+			return ix, nil
+		case !errors.Is(err, fs.ErrNotExist):
+			// A snapshot that exists but can't be read must not silently
+			// start an empty index — the shutdown flush would overwrite it.
+			return nil, fmt.Errorf("stat %s: %w", snapshot, err)
+		}
+	}
+
+	var (
+		r            *genlinkapi.Rule
+		seedEntities []*genlinkapi.Entity
+	)
+	switch {
+	case ruleFile != "":
+		data, err := os.ReadFile(ruleFile)
+		if err != nil {
+			return nil, err
+		}
+		r, err = genlinkapi.ParseRuleJSON(data)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", ruleFile, err)
+		}
+	case dataset != "":
+		ds := genlinkapi.Dataset(dataset, seed)
+		if ds == nil {
+			return nil, fmt.Errorf("unknown dataset %q (available: %v)", dataset, genlinkapi.DatasetNames())
+		}
+		cfg := genlinkapi.DefaultConfig()
+		cfg.PopulationSize = population
+		cfg.MaxIterations = iterations
+		cfg.Seed = seed
+		log.Printf("learning rule on %s (population %d, %d iterations)...", ds.Name, population, iterations)
+		result, err := genlinkapi.Learn(cfg, ds.Refs)
+		if err != nil {
+			return nil, err
+		}
+		r = result.Best
+		log.Printf("learned: %s", r.Render())
+		seedEntities = ds.B.Entities
+	default:
+		return nil, errors.New("one of -rule, -dataset or an existing -snapshot is required")
+	}
+
+	ix := genlinkapi.NewShardedIndex(r, shards, genlinkapi.MatchOptions{Blocker: bl, Threshold: threshold})
+	if len(seedEntities) > 0 {
+		log.Printf("bulk-loaded %d entities", ix.BulkLoad(seedEntities))
+	}
+	return ix, nil
+}
+
+// queryLatencyBuckets defines the query-latency histogram: an upper
+// bound (exclusive, in nanoseconds) with its label, in ascending order,
+// plus a final catch-all. The counter array is sized from this table, so
+// adding a bucket is a one-line change.
+var queryLatencyBuckets = []struct {
+	boundNs int64
+	label   string
+}{
+	{100_000, "<0.1ms"},
+	{500_000, "<0.5ms"},
+	{1_000_000, "<1ms"},
+	{5_000_000, "<5ms"},
+	{10_000_000, "<10ms"},
+	{50_000_000, "<50ms"},
+	{100_000_000, "<100ms"},
+	{1_000_000_000, "<1s"},
+	{0, "+inf"}, // bound ignored: catches everything slower
+}
+
+// metrics is the server's expvar-style counter set: monotonically
+// increasing atomics, exposed as JSON on GET /metrics.
+type metrics struct {
+	queries        atomic.Int64
+	writes         atomic.Int64 // entities upserted
+	deletes        atomic.Int64
+	snapshots      atomic.Int64
+	latencyBuckets []atomic.Int64 // one per queryLatencyBuckets entry
+}
+
+// observeQuery records one query and its latency.
+func (m *metrics) observeQuery(d time.Duration) {
+	m.queries.Add(1)
+	ns := d.Nanoseconds()
+	last := len(queryLatencyBuckets) - 1
+	for i, b := range queryLatencyBuckets[:last] {
+		if ns < b.boundNs {
+			m.latencyBuckets[i].Add(1)
+			return
+		}
+	}
+	m.latencyBuckets[last].Add(1)
+}
+
+// server wires an index into HTTP handlers. Beyond the default k, the
+// snapshot path and the metrics counters it holds no state of its own:
+// the index is the single synchronized source of truth, so handlers are
+// trivially safe under concurrent requests.
 type server struct {
-	ix       *genlinkapi.Index
-	defaultK int
+	ix           *genlinkapi.Index
+	defaultK     int
+	snapshotPath string
+	m            metrics
 }
 
-func newServer(ix *genlinkapi.Index, defaultK int) *server {
+func newServer(ix *genlinkapi.Index, defaultK int, snapshotPath string) *server {
 	if defaultK <= 0 {
 		defaultK = 10
 	}
-	return &server{ix: ix, defaultK: defaultK}
+	s := &server{ix: ix, defaultK: defaultK, snapshotPath: snapshotPath}
+	s.m.latencyBuckets = make([]atomic.Int64, len(queryLatencyBuckets))
+	return s
+}
+
+// flushSnapshot writes a snapshot to the configured path, counting it in
+// the metrics. It is a no-op when the server runs without -snapshot.
+func (s *server) flushSnapshot() error {
+	if s.snapshotPath == "" {
+		return nil
+	}
+	if err := s.ix.SnapshotTo(s.snapshotPath); err != nil {
+		return err
+	}
+	s.m.snapshots.Add(1)
+	return nil
 }
 
 // routes builds the HTTP mux (method-qualified patterns, Go 1.22+).
@@ -142,7 +283,9 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("DELETE /entities/{id}", s.handleDeleteEntity)
 	mux.HandleFunc("GET /match", s.handleMatch)
 	mux.HandleFunc("POST /match", s.handleMatchProbe)
+	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -169,18 +312,22 @@ func toMatchResponse(query string, k int, links []genlinkapi.MatchedLink) matchR
 	return resp
 }
 
-// handlePostEntities decodes one entity or an array and upserts them.
+// handlePostEntities decodes one entity or an array and upserts them as
+// one batch through the sharded Apply pipeline: each shard is locked
+// once, old versions leave through the bulk-remove path, new versions
+// enter through the BulkAdder append-then-sort path — never the
+// per-entity sorted-neighborhood memmove of repeated Adds. Concurrent
+// queries see each shard's slice of the batch either fully applied or
+// not at all. "added" counts distinct IDs (a repeated ID upserts once).
 func (s *server) handlePostEntities(w http.ResponseWriter, r *http.Request) {
 	entities, err := decodeEntities(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	// One write-lock acquisition for the whole batch: concurrent queries
-	// see either none or all of it, and bulk seeding pays no per-entity
-	// locking. "added" counts distinct IDs (a repeated ID upserts once).
-	added := s.ix.BulkLoad(entities)
-	writeJSON(w, http.StatusOK, map[string]int{"added": added, "entities": s.ix.Len()})
+	res := s.ix.Apply(genlinkapi.IndexBatch{Upserts: entities})
+	s.m.writes.Add(int64(res.Upserted))
+	writeJSON(w, http.StatusOK, map[string]int{"added": res.Upserted, "entities": s.ix.Len()})
 }
 
 // decodeEntities accepts `{...}` or `[{...}, ...]` bodies and validates
@@ -237,6 +384,7 @@ func (s *server) handleDeleteEntity(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown entity %q", id))
 		return
 	}
+	s.m.deletes.Add(1)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -252,11 +400,13 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	t0 := time.Now()
 	links, ok := s.ix.QueryID(id, k)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown entity %q", id))
 		return
 	}
+	s.m.observeQuery(time.Since(t0))
 	writeJSON(w, http.StatusOK, toMatchResponse(id, k, links))
 }
 
@@ -280,16 +430,62 @@ func (s *server) handleMatchProbe(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("POST /match takes exactly one entity"))
 		return
 	}
-	writeJSON(w, http.StatusOK, toMatchResponse(entities[0].ID, k, s.ix.Query(entities[0], k)))
+	t0 := time.Now()
+	links := s.ix.Query(entities[0], k)
+	s.m.observeQuery(time.Since(t0))
+	writeJSON(w, http.StatusOK, toMatchResponse(entities[0].ID, k, links))
+}
+
+// handleSnapshot writes a snapshot to the configured -snapshot path on
+// demand. Without -snapshot there is nowhere to write: 409.
+func (s *server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	if s.snapshotPath == "" {
+		writeError(w, http.StatusConflict, errors.New("server runs without -snapshot; no snapshot path configured"))
+		return
+	}
+	t0 := time.Now()
+	if err := s.flushSnapshot(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"path":     s.snapshotPath,
+		"entities": s.ix.Len(),
+		"ms":       float64(time.Since(t0).Microseconds()) / 1000,
+	})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.ix.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"entities":  st.Entities,
-		"keys":      st.Keys,
-		"blocker":   st.Blocker,
-		"threshold": st.Threshold,
+		"entities":       st.Entities,
+		"keys":           st.Keys,
+		"blocker":        st.Blocker,
+		"threshold":      st.Threshold,
+		"shards":         st.Shards,
+		"shard_entities": st.ShardEntities,
+	})
+}
+
+// handleMetrics exposes the counter set plus point-in-time gauges from
+// the index. Buckets are cumulative counts per latency bound, covering
+// both match endpoints.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.ix.Stats()
+	buckets := make(map[string]int64, len(queryLatencyBuckets))
+	for i, b := range queryLatencyBuckets {
+		buckets[b.label] = s.m.latencyBuckets[i].Load()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"entities":              st.Entities,
+		"shards":                st.Shards,
+		"shard_entities":        st.ShardEntities,
+		"keys":                  st.Keys,
+		"queries":               s.m.queries.Load(),
+		"writes":                s.m.writes.Load(),
+		"deletes":               s.m.deletes.Load(),
+		"snapshots":             s.m.snapshots.Load(),
+		"query_latency_buckets": buckets,
 	})
 }
 

@@ -2,14 +2,18 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"genlink/pkg/genlinkapi"
 )
@@ -38,10 +42,17 @@ func serveRule(t *testing.T) *genlinkapi.Rule {
 
 func newTestServer(t *testing.T) (*httptest.Server, *genlinkapi.Index) {
 	t.Helper()
-	ix := genlinkapi.NewIndex(serveRule(t), genlinkapi.MatchOptions{
+	return newTestServerOpts(t, 4, "")
+}
+
+// newTestServerOpts builds a test server over a sharded index, optionally
+// with a snapshot path configured.
+func newTestServerOpts(t *testing.T, shards int, snapshotPath string) (*httptest.Server, *genlinkapi.Index) {
+	t.Helper()
+	ix := genlinkapi.NewShardedIndex(serveRule(t), shards, genlinkapi.MatchOptions{
 		Blocker: genlinkapi.MultiPass(),
 	})
-	ts := httptest.NewServer(newServer(ix, 10).routes())
+	ts := httptest.NewServer(newServer(ix, 10, snapshotPath).routes())
 	t.Cleanup(ts.Close)
 	return ts, ix
 }
@@ -155,6 +166,187 @@ func TestServerEndpoints(t *testing.T) {
 	}
 	if code := doJSON(t, c, "POST", ts.URL+"/entities", []byte(`not json`), nil); code != 400 {
 		t.Fatalf("bad JSON = %d", code)
+	}
+}
+
+// TestMetricsEndpoint pins the expvar-style counter set: entities,
+// queries, writes, deletes, snapshots, per-shard sizes and the query
+// latency histogram must all move with traffic and stay internally
+// consistent (shard sizes sum to the corpus, bucket counts sum to the
+// query count).
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestServerOpts(t, 3, "")
+	c := ts.Client()
+
+	bulk := []byte(`[` + string(entityJSON("a", "Grace Hopper", "compilers")) + `,` +
+		string(entityJSON("b", "grace hoper", "compilers")) + `,` +
+		string(entityJSON("c", "Alan Turing", "computability")) + `]`)
+	if code := doJSON(t, c, "POST", ts.URL+"/entities", bulk, nil); code != 200 {
+		t.Fatalf("POST /entities = %d", code)
+	}
+	if code := doJSON(t, c, "DELETE", ts.URL+"/entities/c", nil, nil); code != 204 {
+		t.Fatalf("DELETE = %d", code)
+	}
+	for i := 0; i < 3; i++ {
+		if code := doJSON(t, c, "GET", ts.URL+"/match?id=a&k=5", nil, nil); code != 200 {
+			t.Fatalf("GET /match = %d", code)
+		}
+	}
+	if code := doJSON(t, c, "POST", ts.URL+"/match?k=5", entityJSON("probe", "Alan Turing", "computability"), nil); code != 200 {
+		t.Fatalf("POST /match = %d", code)
+	}
+
+	var m struct {
+		Entities      int              `json:"entities"`
+		Shards        int              `json:"shards"`
+		ShardEntities []int            `json:"shard_entities"`
+		Keys          int              `json:"keys"`
+		Queries       int64            `json:"queries"`
+		Writes        int64            `json:"writes"`
+		Deletes       int64            `json:"deletes"`
+		Snapshots     int64            `json:"snapshots"`
+		Buckets       map[string]int64 `json:"query_latency_buckets"`
+	}
+	if code := doJSON(t, c, "GET", ts.URL+"/metrics", nil, &m); code != 200 {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	if m.Entities != 2 || m.Writes != 3 || m.Deletes != 1 || m.Queries != 4 || m.Snapshots != 0 {
+		t.Fatalf("metrics = %+v, want entities=2 writes=3 deletes=1 queries=4 snapshots=0", m)
+	}
+	if m.Shards != 3 || len(m.ShardEntities) != 3 {
+		t.Fatalf("metrics shards = %d/%v, want 3 shards with per-shard sizes", m.Shards, m.ShardEntities)
+	}
+	sum := 0
+	for _, n := range m.ShardEntities {
+		sum += n
+	}
+	if sum != m.Entities {
+		t.Fatalf("shard sizes %v sum to %d, want %d", m.ShardEntities, sum, m.Entities)
+	}
+	if m.Keys == 0 {
+		t.Fatal("metrics keys = 0, want > 0")
+	}
+	var bucketTotal int64
+	for _, n := range m.Buckets {
+		bucketTotal += n
+	}
+	if bucketTotal != m.Queries {
+		t.Fatalf("latency buckets %v sum to %d, want %d queries", m.Buckets, bucketTotal, m.Queries)
+	}
+}
+
+// TestSnapshotEndpointAndRestore exercises the full persistence loop the
+// way a restart would: seed a server, POST /snapshot, then rebuild the
+// index through the startup restore path and check stats and answers are
+// identical — including that the batched POST /entities writes and a
+// delete survived.
+func TestSnapshotEndpointAndRestore(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "index.snap")
+	ts, ix := newTestServerOpts(t, 3, snap)
+	c := ts.Client()
+
+	bulk := []byte(`[` + string(entityJSON("a", "Grace Hopper", "compilers")) + `,` +
+		string(entityJSON("b", "grace hoper", "compilers")) + `,` +
+		string(entityJSON("c", "Alan Turing", "computability")) + `,` +
+		string(entityJSON("d", "Ada Lovelace", "notes")) + `]`)
+	if code := doJSON(t, c, "POST", ts.URL+"/entities", bulk, nil); code != 200 {
+		t.Fatalf("POST /entities = %d", code)
+	}
+	if code := doJSON(t, c, "DELETE", ts.URL+"/entities/d", nil, nil); code != 204 {
+		t.Fatalf("DELETE = %d", code)
+	}
+	var snapResp map[string]any
+	if code := doJSON(t, c, "POST", ts.URL+"/snapshot", nil, &snapResp); code != 200 {
+		t.Fatalf("POST /snapshot = %d", code)
+	}
+	if int(snapResp["entities"].(float64)) != 3 {
+		t.Fatalf("snapshot response = %v, want 3 entities", snapResp)
+	}
+
+	// Restart: buildIndex must prefer the snapshot over -rule/-dataset.
+	restored, err := buildIndex("", "", 0, 0, 1, 0, 0, snap, genlinkapi.BlockerByName("multipass"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := ix.Stats(), restored.Stats()
+	if got.Entities != want.Entities || got.Keys != want.Keys || got.Blocker != want.Blocker ||
+		got.Threshold != want.Threshold || got.Shards != want.Shards {
+		t.Fatalf("restored stats %+v, want %+v", got, want)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		wantLinks, _ := ix.QueryID(id, 10)
+		gotLinks, ok := restored.QueryID(id, 10)
+		if !ok {
+			t.Fatalf("restored index lost entity %q", id)
+		}
+		if len(gotLinks) != len(wantLinks) {
+			t.Fatalf("restored QueryID(%s) = %v, want %v", id, gotLinks, wantLinks)
+		}
+		for i := range gotLinks {
+			if gotLinks[i] != wantLinks[i] {
+				t.Fatalf("restored QueryID(%s)[%d] = %+v, want %+v", id, i, gotLinks[i], wantLinks[i])
+			}
+		}
+	}
+	if restored.Get("d") != nil {
+		t.Fatal("deleted entity d came back after restore")
+	}
+
+	// The metrics snapshot counter moved.
+	var m map[string]any
+	doJSON(t, c, "GET", ts.URL+"/metrics", nil, &m)
+	if m["snapshots"].(float64) != 1 {
+		t.Fatalf("snapshots counter = %v, want 1", m["snapshots"])
+	}
+}
+
+// TestSnapshotWithoutPath pins the 409 on servers running without
+// -snapshot, and that flushSnapshot (the graceful-shutdown hook) is a
+// no-op rather than an error there.
+func TestSnapshotWithoutPath(t *testing.T) {
+	ts, ix := newTestServer(t)
+	if code := doJSON(t, ts.Client(), "POST", ts.URL+"/snapshot", nil, nil); code != http.StatusConflict {
+		t.Fatalf("POST /snapshot without path = %d, want 409", code)
+	}
+	if err := newServer(ix, 10, "").flushSnapshot(); err != nil {
+		t.Fatalf("flushSnapshot without path = %v, want nil", err)
+	}
+}
+
+// TestShutdownFlushesSnapshot drives the graceful-shutdown sequence the
+// signal handler runs — drain the HTTP server, then flushSnapshot — and
+// checks the final state is recoverable.
+func TestShutdownFlushesSnapshot(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "final.snap")
+	ix := genlinkapi.NewShardedIndex(serveRule(t), 2, genlinkapi.MatchOptions{Blocker: genlinkapi.MultiPass()})
+	srv := newServer(ix, 10, snap)
+	hs := &http.Server{Handler: srv.routes()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hs.Serve(ln)
+	url := "http://" + ln.Addr().String()
+	c := &http.Client{}
+	if code := doJSON(t, c, "POST", url+"/entities", entityJSON("a", "Grace Hopper", "compilers"), nil); code != 200 {
+		t.Fatalf("POST /entities = %d", code)
+	}
+
+	// The shutdown sequence from main's signal branch.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := srv.flushSnapshot(); err != nil {
+		t.Fatalf("final flushSnapshot: %v", err)
+	}
+	restored, err := genlinkapi.RestoreIndex(snap, genlinkapi.IndexRestoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 1 || restored.Get("a") == nil {
+		t.Fatalf("restored corpus = %d entities, want the 1 written before shutdown", restored.Len())
 	}
 }
 

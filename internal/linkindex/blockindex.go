@@ -60,6 +60,25 @@ func bulkAdd(bi BlockIndex, es []*entity.Entity) {
 	}
 }
 
+// BulkRemover is implemented by BlockIndexes with a batch-unindex fast
+// path. BulkRemove has Remove's contract for every element; bulkRemove
+// falls back to per-entity Remove for indexes that don't implement it.
+type BulkRemover interface {
+	BulkRemove(es []*entity.Entity)
+}
+
+// bulkRemove unindexes a batch through the index's fast path if it has
+// one.
+func bulkRemove(bi BlockIndex, es []*entity.Entity) {
+	if br, ok := bi.(BulkRemover); ok {
+		br.BulkRemove(es)
+		return
+	}
+	for _, e := range es {
+		bi.Remove(e)
+	}
+}
+
 // NewBlockIndex returns the incremental index matching a blocker
 // strategy: inverted key maps for token and q-gram blocking, an
 // order-maintained sorted list for sorted-neighborhood, a MultiIndex for
@@ -253,22 +272,71 @@ func (x *SortedNeighborhoodIndex) Add(e *entity.Entity) {
 	x.recs[pos] = snRec{key: k, e: e}
 }
 
-// BulkAdd implements BulkAdder: append everything, then sort once.
-// O((n+m)·log(n+m)) instead of the O(n·m) memmoves of m repeated Adds —
-// the difference between milliseconds and minutes when seeding a large
-// corpus through Index.BulkLoad.
+// recLess is the sorted-list order: (sort key, entity ID).
+func recLess(a, b snRec) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.e.ID < b.e.ID
+}
+
+// BulkAdd implements BulkAdder: sort the m new records, then merge them
+// into the existing list with one backward pass — O(n + m·log m)
+// instead of the O(n·m) memmoves of m repeated Adds, and never a full
+// re-sort of the n existing records, so a small batch into a large
+// shard costs one linear pass (the write pipeline routes even
+// single-entity replacements through here).
 func (x *SortedNeighborhoodIndex) BulkAdd(es []*entity.Entity) {
+	if len(es) == 0 {
+		return
+	}
+	add := make([]snRec, 0, len(es))
 	for _, e := range es {
 		k := x.key(e)
 		x.keyOf[e.ID] = k
-		x.recs = append(x.recs, snRec{key: k, e: e})
+		add = append(add, snRec{key: k, e: e})
 	}
-	sort.Slice(x.recs, func(i, j int) bool {
-		if x.recs[i].key != x.recs[j].key {
-			return x.recs[i].key < x.recs[j].key
+	sort.Slice(add, func(i, j int) bool { return recLess(add[i], add[j]) })
+	n := len(x.recs)
+	x.recs = append(x.recs, add...)
+	// Backward merge: old records occupy [0, n), add is sorted; filling
+	// from the end never overwrites an unread old record.
+	i, j := n-1, len(add)-1
+	for w := len(x.recs) - 1; j >= 0; w-- {
+		if i >= 0 && recLess(add[j], x.recs[i]) {
+			x.recs[w] = x.recs[i]
+			i--
+		} else {
+			x.recs[w] = add[j]
+			j--
 		}
-		return x.recs[i].e.ID < x.recs[j].e.ID
-	})
+	}
+}
+
+// BulkRemove implements BulkRemover: mark every doomed record, then
+// compact the list in one pass. O(n + m) instead of the O(n·m) memmoves
+// of m repeated Removes — the batch half of the Apply write pipeline.
+func (x *SortedNeighborhoodIndex) BulkRemove(es []*entity.Entity) {
+	drop := make(map[string]struct{}, len(es))
+	for _, e := range es {
+		if _, ok := x.keyOf[e.ID]; ok {
+			drop[e.ID] = struct{}{}
+			delete(x.keyOf, e.ID)
+		}
+	}
+	if len(drop) == 0 {
+		return
+	}
+	kept := x.recs[:0]
+	for _, r := range x.recs {
+		if _, doomed := drop[r.e.ID]; !doomed {
+			kept = append(kept, r)
+		}
+	}
+	for i := len(kept); i < len(x.recs); i++ {
+		x.recs[i] = snRec{}
+	}
+	x.recs = kept
 }
 
 // Remove implements BlockIndex.
@@ -359,6 +427,13 @@ func (x *MultiIndex) Add(e *entity.Entity) {
 func (x *MultiIndex) BulkAdd(es []*entity.Entity) {
 	for _, m := range x.members {
 		bulkAdd(m, es)
+	}
+}
+
+// BulkRemove implements BulkRemover, forwarding each member's fast path.
+func (x *MultiIndex) BulkRemove(es []*entity.Entity) {
+	for _, m := range x.members {
+		bulkRemove(m, es)
 	}
 }
 

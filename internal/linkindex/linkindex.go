@@ -1,15 +1,15 @@
 // Package linkindex turns batch record linkage into an online service:
-// a mutable, concurrency-safe index over an evolving entity corpus that
-// answers top-k match queries through a learned linkage rule without ever
-// re-blocking the whole corpus.
+// a mutable, concurrency-safe, sharded index over an evolving entity
+// corpus that answers top-k match queries through a learned linkage rule
+// without ever re-blocking the whole corpus.
 //
 // The paper's execution pipeline (learn rule → block → score) assumes two
 // fixed sources. A production linkage service sees the opposite regime:
 // entities arrive, change and disappear continuously, and each query
 // ("which indexed entities match this one?") must be answered online. The
 // package keeps the blocking subsystem of internal/matching as the single
-// source of candidate-generation semantics and adds the incremental
-// machinery around it:
+// source of candidate-generation semantics and adds the storage layer
+// around it:
 //
 //   - BlockIndex mirrors each matching.Blocker strategy with mutable
 //     structures: inverted key maps (TokenIndex, QGramIndex), an
@@ -17,25 +17,27 @@
 //     union composite, and a generic re-blocking fallback. A differential
 //     property test pins incremental candidates ≡ the batch blocker on the
 //     surviving entity set under any interleaving of Add/Update/Remove.
-//   - Index combines a BlockIndex with a compiled rule
-//     (internal/evalengine) behind one RWMutex: writes (Add, Update,
-//     Remove, BulkLoad) take the write lock; Query runs under the read
-//     lock, so any number of queries proceed concurrently and each sees a
-//     consistent snapshot. Scoring goes through a shared
-//     evalengine.SharedScorer whose per-entity value caches are
-//     invalidated on every update, so pay-once transformation chains
-//     survive across queries but never go stale.
+//   - ShardedIndex hash-partitions the corpus over N shards, each owning
+//     its own entity map, BlockIndex and evalengine.SharedScorer behind a
+//     per-shard RWMutex. Queries fan out across shards in parallel and
+//     merge per-shard bounded top-k heaps; writes lock only the shards
+//     they touch, and the Apply pipeline groups a batch of upserts and
+//     deletes per shard so block structures load through their bulk
+//     fast paths. Index is the N=1 case of the same code path (the
+//     original single-mutex monolith is retired). See the ShardedIndex
+//     documentation for the sharded candidate semantics — identical to
+//     single-shard for partition-invariant strategies, a recall-preserving
+//     superset for sorted-neighborhood windows and capped blocks — and
+//     the per-shard isolation contract.
+//   - Snapshot persistence: SnapshotTo writes a versioned snapshot of the
+//     corpus, rule and options to disk; RestoreFrom rebuilds the block
+//     structures from it, so a service restart does not lose the index.
 //
-// cmd/genlinkd serves an Index over HTTP; pkg/genlinkapi re-exports it as
-// NewIndex.
+// cmd/genlinkd serves a ShardedIndex over HTTP; pkg/genlinkapi re-exports
+// the package as NewIndex/NewShardedIndex/RestoreIndex.
 package linkindex
 
 import (
-	"sort"
-	"sync"
-
-	"genlink/internal/entity"
-	"genlink/internal/evalengine"
 	"genlink/internal/matching"
 	"genlink/internal/rule"
 )
@@ -43,23 +45,16 @@ import (
 // Index is a mutable matching service over one entity corpus: entities
 // are added, updated and removed individually, and Query matches a probe
 // entity against the current corpus through the linkage rule, returning
-// the top-k links. All methods are safe for concurrent use; queries run
-// concurrently with each other and serialize only against writes.
+// the top-k links. All methods are safe for concurrent use.
 //
-// The corpus is "dedup-shaped": one set of entities matched against
-// itself, the way a service deduplicates a live database. A probe never
-// matches its own record (same entity ID).
-type Index struct {
-	mu       sync.RWMutex
-	rule     *rule.Rule
-	compiled *evalengine.Compiled
-	scorer   *evalengine.SharedScorer
-	opts     matching.Options
-	entities map[string]*entity.Entity
-	blocks   BlockIndex
-}
+// Index is the single-shard case of ShardedIndex — one partition, one
+// lock, no query fan-out goroutines — kept as the name for callers that
+// don't care about sharding. The corpus is "dedup-shaped": one set of
+// entities matched against itself, the way a service deduplicates a live
+// database. A probe never matches its own record (same entity ID).
+type Index = ShardedIndex
 
-// Stats is a point-in-time summary of an Index.
+// Stats is a point-in-time summary of an index.
 type Stats struct {
 	// Entities is the current corpus size.
 	Entities int
@@ -69,225 +64,17 @@ type Stats struct {
 	Blocker string
 	// Threshold is the minimum score Query emits.
 	Threshold float64
+	// Shards is the number of hash partitions (1 for New).
+	Shards int
+	// ShardEntities is the per-shard corpus size, in shard order.
+	ShardEntities []int
 }
 
-// New returns an empty index serving the given rule. opts follows
-// matching.Options semantics: zero Threshold means rule.MatchThreshold,
-// nil Blocker means token blocking, zero MaxBlockSize derives the
-// stop-token cap from the current corpus size (so the cap tracks growth),
-// negative means uncapped.
+// New returns an empty single-shard index serving the given rule —
+// NewSharded(r, 1, opts). opts follows matching.Options semantics: zero
+// Threshold means rule.MatchThreshold, nil Blocker means token blocking,
+// zero MaxBlockSize derives the stop-token cap from the current corpus
+// size (so the cap tracks growth), negative means uncapped.
 func New(r *rule.Rule, opts matching.Options) *Index {
-	if opts.Threshold == 0 {
-		opts.Threshold = rule.MatchThreshold
-	}
-	if opts.Blocker == nil {
-		opts.Blocker = matching.TokenBlocking()
-	}
-	compiled := evalengine.Compile(r)
-	return &Index{
-		rule:     r,
-		compiled: compiled,
-		scorer:   compiled.NewSharedScorer(),
-		opts:     opts,
-		entities: make(map[string]*entity.Entity),
-		blocks:   NewBlockIndex(opts.Blocker),
-	}
-}
-
-// Rule returns the linkage rule the index scores with.
-func (ix *Index) Rule() *rule.Rule { return ix.rule }
-
-// Add inserts e into the corpus, replacing any entity with the same ID
-// (Add of a known ID is an update). The index takes ownership of e: do
-// not mutate it afterwards without calling Update.
-func (ix *Index) Add(e *entity.Entity) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	ix.addLocked(e)
-}
-
-// Update replaces the entity with e.ID by e: the block structures are
-// re-keyed and the scorer's cached value sets for the old version are
-// dropped. Always pass a freshly built entity value — mutating a stored
-// entity (as returned by Get) in place is a data race against concurrent
-// queries, which read entity properties under only the read lock.
-func (ix *Index) Update(e *entity.Entity) {
-	ix.Add(e)
-}
-
-func (ix *Index) addLocked(e *entity.Entity) {
-	if old, ok := ix.entities[e.ID]; ok {
-		ix.blocks.Remove(old)
-		ix.scorer.Invalidate(old)
-	}
-	ix.entities[e.ID] = e
-	ix.blocks.Add(e)
-	// The caller may have mutated e in place before re-adding it under the
-	// same pointer; cached value sets of that pointer are stale either way.
-	ix.scorer.Invalidate(e)
-}
-
-// Remove deletes the entity with the given ID. It reports whether the
-// entity was present.
-func (ix *Index) Remove(id string) bool {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	old, ok := ix.entities[id]
-	if !ok {
-		return false
-	}
-	ix.blocks.Remove(old)
-	delete(ix.entities, id)
-	ix.scorer.Invalidate(old)
-	return true
-}
-
-// BulkLoad adds every entity under a single write lock — the fast path
-// for seeding a corpus: one lock acquisition, and block structures with
-// a batch mode load in bulk (the sorted-neighborhood list appends
-// everything and sorts once instead of memmoving per entity). Entities
-// whose IDs are already indexed — or repeated within the batch — replace
-// the earlier version, like Update. It returns the number of distinct
-// entities applied (an ID repeated within the batch counts once).
-func (ix *Index) BulkLoad(entities []*entity.Entity) int {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	fresh := make([]*entity.Entity, 0, len(entities))
-	pos := make(map[string]int, len(entities))
-	replaced := make(map[string]struct{})
-	for _, e := range entities {
-		if _, exists := ix.entities[e.ID]; exists {
-			ix.addLocked(e) // replacement: per-entity remove+add
-			replaced[e.ID] = struct{}{}
-			continue
-		}
-		if i, dup := pos[e.ID]; dup {
-			fresh[i] = e // later batch occurrence wins
-			continue
-		}
-		pos[e.ID] = len(fresh)
-		fresh = append(fresh, e)
-	}
-	for _, e := range fresh {
-		ix.entities[e.ID] = e
-		ix.scorer.Invalidate(e)
-	}
-	bulkAdd(ix.blocks, fresh)
-	return len(fresh) + len(replaced)
-}
-
-// Len returns the current corpus size.
-func (ix *Index) Len() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return len(ix.entities)
-}
-
-// Get returns the stored entity with the given ID, or nil. The returned
-// entity must not be mutated (use Update with a fresh value).
-func (ix *Index) Get(id string) *entity.Entity {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.entities[id]
-}
-
-// Entities returns a snapshot of the corpus sorted by ID.
-func (ix *Index) Entities() []*entity.Entity {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	out := make([]*entity.Entity, 0, len(ix.entities))
-	for _, e := range ix.entities {
-		out = append(out, e)
-	}
-	sortByID(out)
-	return out
-}
-
-// Stats returns a point-in-time summary.
-func (ix *Index) Stats() Stats {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return Stats{
-		Entities:  len(ix.entities),
-		Keys:      ix.blocks.Keys(),
-		Blocker:   ix.opts.Blocker.Name(),
-		Threshold: ix.opts.Threshold,
-	}
-}
-
-// Candidates returns the indexed entities blocking proposes for the
-// probe, sorted by ID — the pre-scoring half of Query, exposed so
-// blocking quality is observable (and differentially testable) on its
-// own. The probe's own record (same ID) is never a candidate.
-func (ix *Index) Candidates(probe *entity.Entity) []*entity.Entity {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.candidatesLocked(probe)
-}
-
-func (ix *Index) candidatesLocked(probe *entity.Entity) []*entity.Entity {
-	// Mirror matching.Options.normalize, with the corpus the probe is
-	// matched against (everything except its own record) as the B source.
-	n := len(ix.entities)
-	if _, ok := ix.entities[probe.ID]; ok {
-		n--
-	}
-	maxBlock := ix.opts.MaxBlockSize
-	switch {
-	case maxBlock == 0:
-		maxBlock = n/20 + 50
-	case maxBlock < 0:
-		maxBlock = 0 // BlockIndex treats ≤0 as uncapped
-	}
-	return ix.blocks.Candidates(probe, maxBlock)
-}
-
-// Query matches the probe against the corpus and returns the top-k links
-// with score ≥ the threshold, ordered by descending score then candidate
-// ID (AID is always probe.ID). k ≤ 0 returns every link above the
-// threshold. The probe need not be indexed; if it is, its own record is
-// excluded. The whole query runs under one read lock, so the result is a
-// consistent snapshot even while writers are queued.
-func (ix *Index) Query(probe *entity.Entity, k int) []matching.Link {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.queryLocked(probe, k)
-}
-
-// QueryID matches the stored entity with the given ID against the rest
-// of the corpus. It reports false if the ID is not indexed.
-func (ix *Index) QueryID(id string, k int) ([]matching.Link, bool) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	e, ok := ix.entities[id]
-	if !ok {
-		return nil, false
-	}
-	return ix.queryLocked(e, k), true
-}
-
-func (ix *Index) queryLocked(probe *entity.Entity, k int) []matching.Link {
-	cands := ix.candidatesLocked(probe)
-	if ix.entities[probe.ID] != probe {
-		// External probe: cache its value sets only for the duration of
-		// this query (they are reused across every candidate), then drop
-		// them so the shared cache tracks live corpus entities only.
-		defer ix.scorer.Invalidate(probe)
-	}
-	links := make([]matching.Link, 0, len(cands))
-	for _, cand := range cands {
-		if score := ix.scorer.Score(probe, cand); score >= ix.opts.Threshold {
-			links = append(links, matching.Link{AID: probe.ID, BID: cand.ID, Score: score})
-		}
-	}
-	sort.Slice(links, func(i, j int) bool {
-		if links[i].Score != links[j].Score {
-			return links[i].Score > links[j].Score
-		}
-		return links[i].BID < links[j].BID
-	})
-	if k > 0 && len(links) > k {
-		links = links[:k:k]
-	}
-	return links
+	return NewSharded(r, 1, opts)
 }

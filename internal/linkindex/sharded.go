@@ -1,0 +1,615 @@
+package linkindex
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"genlink/internal/entity"
+	"genlink/internal/evalengine"
+	"genlink/internal/matching"
+	"genlink/internal/rule"
+)
+
+// ShardedIndex is the storage layer of the matching service: the entity
+// corpus is hash-partitioned over N shards, each owning its own entity
+// map, BlockIndex and evalengine.SharedScorer behind a per-shard RWMutex.
+// Writes touch only the shards their entity IDs hash to, so writes to
+// different shards proceed in parallel and a write never stalls queries
+// against the other N−1 shards. Queries fan out across all shards
+// concurrently, keep a bounded top-k heap per shard, and merge the
+// per-shard winners.
+//
+// # Candidate semantics under sharding
+//
+// Each shard behaves exactly like an independent single-shard index over
+// its partition — same code path, same per-partition cap derivation —
+// and the index unions the per-shard candidate sets. Concretely:
+//
+//   - Partition-invariant strategies (token and q-gram inverted maps
+//     with no block-size cap): a key's global block is the disjoint
+//     union of its per-shard blocks, so the union is exactly the
+//     single-shard candidate set and query results are identical to an
+//     unsharded Index. The generic re-blocking fallback shares this
+//     identity only for key-based custom strategies; an order- or
+//     window-dependent custom blocker re-blocked per partition follows
+//     the union-of-partitions contract, like sorted neighborhood.
+//   - Sorted neighborhood: each shard keeps its own sorted list, and a
+//     probe takes a window of w on either side per shard. The shard's
+//     list is a subsequence of the global sorted list, so any entity
+//     within w global positions of the probe is within ≤ w positions in
+//     its shard's list: the per-shard windows are a superset of the
+//     global window's in-shard pairs. Recall never drops; up to
+//     2·w·(N−1) extra candidates may appear.
+//   - Block-size caps (stop-token suppression): caps apply per shard. An
+//     explicit cap M becomes ⌈M/N⌉ per shard and a derived cap derives
+//     from the partition size, because a stop token over-represented in
+//     the corpus is over-represented in every ~1/N partition — applying
+//     the global cap per shard would let every stop block slip under it
+//     and multiply query cost by N. Under hash imbalance a capped
+//     sharded index may therefore keep or skip a borderline block
+//     differently than a single-shard index; suppression strength is
+//     preserved, membership of borderline blocks is not guaranteed.
+//
+// TestDifferentialShardedVsSingleShard pins the union-of-independent-
+// partitions contract exactly (per-partition batch blocking as ground
+// truth) for every strategy and cap, plus literal sharded ≡ single-shard
+// equality for the partition-invariant strategies;
+// TestShardedSupersetOfSingleShard pins the sorted-neighborhood window
+// superset.
+//
+// # Isolation semantics
+//
+// Every method is safe for concurrent use. Writes and queries are
+// serialized per shard: a query observes a consistent snapshot of each
+// shard, and Apply installs a batch's per-shard group atomically with
+// respect to queries. Across shards there is no global barrier — a query
+// racing an Apply may see the batch applied in some shards and not yet in
+// others. Once writes quiesce, results are exactly those of the final
+// corpus (the race-enabled fan-out test pins the invariants every
+// intermediate read must satisfy, and quiescent equality).
+type ShardedIndex struct {
+	rule     *rule.Rule
+	compiled *evalengine.Compiled
+	opts     matching.Options
+	shards   []*shard
+	count    atomic.Int64 // total entities across shards
+}
+
+// shard is one partition: a single-mutex miniature of the retired
+// monolithic index.
+type shard struct {
+	mu       sync.RWMutex
+	entities map[string]*entity.Entity
+	blocks   BlockIndex
+	scorer   *evalengine.SharedScorer
+}
+
+// NewSharded returns an empty index with the given shard count (≤ 0 means
+// runtime.GOMAXPROCS(0)) serving the given rule. opts follows
+// matching.Options semantics: zero Threshold means rule.MatchThreshold,
+// nil Blocker means token blocking, zero MaxBlockSize derives the
+// stop-token cap from the current total corpus size, negative means
+// uncapped. New(r, opts) is the single-shard special case.
+func NewSharded(r *rule.Rule, shards int, opts matching.Options) *ShardedIndex {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if opts.Threshold == 0 {
+		opts.Threshold = rule.MatchThreshold
+	}
+	if opts.Blocker == nil {
+		opts.Blocker = matching.TokenBlocking()
+	}
+	compiled := evalengine.Compile(r)
+	ix := &ShardedIndex{rule: r, compiled: compiled, opts: opts, shards: make([]*shard, shards)}
+	for i := range ix.shards {
+		ix.shards[i] = &shard{
+			entities: make(map[string]*entity.Entity),
+			blocks:   NewBlockIndex(opts.Blocker),
+			scorer:   compiled.NewSharedScorer(),
+		}
+	}
+	return ix
+}
+
+// Rule returns the linkage rule the index scores with.
+func (ix *ShardedIndex) Rule() *rule.Rule { return ix.rule }
+
+// Shards returns the number of hash partitions.
+func (ix *ShardedIndex) Shards() int { return len(ix.shards) }
+
+// ShardOf returns the index of the shard owning the given entity ID — a
+// pure function of (ID, shard count), exposed so operators can reason
+// about placement and tests can reconstruct per-shard partitions.
+func (ix *ShardedIndex) ShardOf(id string) int {
+	h := uint32(2166136261) // FNV-1a
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * 16777619
+	}
+	return int(h % uint32(len(ix.shards)))
+}
+
+// shardFor routes an entity ID to its owning shard.
+func (ix *ShardedIndex) shardFor(id string) *shard {
+	return ix.shards[ix.ShardOf(id)]
+}
+
+// Add inserts e into the corpus, replacing any entity with the same ID
+// (Add of a known ID is an update). Only e's shard is locked. The index
+// takes ownership of e: do not mutate it afterwards without calling
+// Update.
+func (ix *ShardedIndex) Add(e *entity.Entity) {
+	sh := ix.shardFor(e.ID)
+	sh.mu.Lock()
+	if old, ok := sh.entities[e.ID]; ok {
+		sh.blocks.Remove(old)
+		sh.scorer.Invalidate(old)
+	} else {
+		ix.count.Add(1)
+	}
+	sh.entities[e.ID] = e
+	sh.blocks.Add(e)
+	// The caller may have mutated e in place before re-adding it under the
+	// same pointer; cached value sets of that pointer are stale either way.
+	sh.scorer.Invalidate(e)
+	sh.mu.Unlock()
+}
+
+// Update replaces the entity with e.ID by e: the block structures are
+// re-keyed and the scorer's cached value sets for the old version are
+// dropped. Always pass a freshly built entity value — mutating a stored
+// entity (as returned by Get) in place is a data race against concurrent
+// queries, which read entity properties under only the read lock.
+func (ix *ShardedIndex) Update(e *entity.Entity) {
+	ix.Add(e)
+}
+
+// Remove deletes the entity with the given ID. It reports whether the
+// entity was present.
+func (ix *ShardedIndex) Remove(id string) bool {
+	sh := ix.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old, ok := sh.entities[id]
+	if !ok {
+		return false
+	}
+	sh.blocks.Remove(old)
+	delete(sh.entities, id)
+	sh.scorer.Invalidate(old)
+	ix.count.Add(-1)
+	return true
+}
+
+// Batch is one group of writes for Apply. Within a batch, the last
+// upsert of an ID wins over earlier upserts of the same ID, and a delete
+// of an ID wins over any upsert of it (deletes are applied last).
+type Batch struct {
+	// Upserts are entities to add or replace, like Update.
+	Upserts []*entity.Entity
+	// Deletes are entity IDs to remove; unknown IDs are ignored.
+	Deletes []string
+}
+
+// ApplyResult summarizes one Apply call.
+type ApplyResult struct {
+	// Upserted counts distinct IDs added or replaced (an ID repeated
+	// within the batch counts once; an ID also deleted counts zero).
+	Upserted int
+	// Deleted counts IDs that were present before the batch and are gone
+	// after it.
+	Deleted int
+}
+
+// Apply installs a batch of upserts and deletes: writes are grouped per
+// shard, shards are written in parallel, and each shard takes its write
+// lock exactly once — old versions leave the block structures through the
+// bulk-remove fast path and new versions enter through the BulkAdder
+// append-then-sort path, so a batched upsert never pays the per-record
+// sorted-neighborhood memmove of repeated Adds. Per shard the batch is
+// atomic with respect to queries; across shards there is no global
+// barrier (see the isolation notes on ShardedIndex).
+func (ix *ShardedIndex) Apply(b Batch) ApplyResult {
+	// Resolve the batch to one final op per ID, preserving first-seen
+	// upsert order within each shard for determinism.
+	type group struct {
+		upserts []*entity.Entity
+		pos     map[string]int
+		deletes []string
+	}
+	groups := make(map[*shard]*group)
+	groupFor := func(id string) *group {
+		sh := ix.shardFor(id)
+		g := groups[sh]
+		if g == nil {
+			g = &group{pos: make(map[string]int)}
+			groups[sh] = g
+		}
+		return g
+	}
+	for _, e := range b.Upserts {
+		g := groupFor(e.ID)
+		if i, dup := g.pos[e.ID]; dup {
+			g.upserts[i] = e // later batch occurrence wins
+			continue
+		}
+		g.pos[e.ID] = len(g.upserts)
+		g.upserts = append(g.upserts, e)
+	}
+	for _, id := range b.Deletes {
+		g := groupFor(id)
+		if i, up := g.pos[id]; up {
+			g.upserts[i] = nil // delete beats upsert of the same ID
+			delete(g.pos, id)
+		}
+		g.deletes = append(g.deletes, id)
+	}
+
+	var (
+		upserted atomic.Int64
+		deleted  atomic.Int64
+	)
+	applyShard := func(sh *shard, g *group) {
+		fresh := g.upserts[:0]
+		for _, e := range g.upserts {
+			if e != nil {
+				fresh = append(fresh, e)
+			}
+		}
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		var olds []*entity.Entity
+		seenDel := make(map[string]struct{}, len(g.deletes))
+		for _, id := range g.deletes {
+			if _, dup := seenDel[id]; dup {
+				continue
+			}
+			seenDel[id] = struct{}{}
+			if old, ok := sh.entities[id]; ok {
+				olds = append(olds, old)
+				delete(sh.entities, id)
+				sh.scorer.Invalidate(old)
+				deleted.Add(1)
+				ix.count.Add(-1)
+			}
+		}
+		for _, e := range fresh {
+			if old, ok := sh.entities[e.ID]; ok {
+				olds = append(olds, old)
+				sh.scorer.Invalidate(old)
+			} else {
+				ix.count.Add(1)
+			}
+		}
+		bulkRemove(sh.blocks, olds)
+		for _, e := range fresh {
+			sh.entities[e.ID] = e
+			sh.scorer.Invalidate(e)
+		}
+		bulkAdd(sh.blocks, fresh)
+		upserted.Add(int64(len(fresh)))
+	}
+	// Like fanOut: parallel shard writes only buy wall-clock when the
+	// runtime can run them in parallel; otherwise apply in place.
+	if len(groups) == 1 || runtime.GOMAXPROCS(0) == 1 {
+		for sh, g := range groups {
+			applyShard(sh, g)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for sh, g := range groups {
+			wg.Add(1)
+			go func(sh *shard, g *group) {
+				defer wg.Done()
+				applyShard(sh, g)
+			}(sh, g)
+		}
+		wg.Wait()
+	}
+	return ApplyResult{Upserted: int(upserted.Load()), Deleted: int(deleted.Load())}
+}
+
+// BulkLoad adds every entity through the Apply write pipeline — the fast
+// path for seeding a corpus. Entities whose IDs are already indexed — or
+// repeated within the batch — replace the earlier version, like Update.
+// It returns the number of distinct entities applied (an ID repeated
+// within the batch counts once).
+func (ix *ShardedIndex) BulkLoad(entities []*entity.Entity) int {
+	return ix.Apply(Batch{Upserts: entities}).Upserted
+}
+
+// Len returns the current corpus size.
+func (ix *ShardedIndex) Len() int { return int(ix.count.Load()) }
+
+// Get returns the stored entity with the given ID, or nil. The returned
+// entity must not be mutated (use Update with a fresh value).
+func (ix *ShardedIndex) Get(id string) *entity.Entity {
+	sh := ix.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.entities[id]
+}
+
+// Entities returns a snapshot of the corpus sorted by ID. Each shard is
+// read under its lock; see the isolation notes for cross-shard semantics.
+func (ix *ShardedIndex) Entities() []*entity.Entity {
+	out := make([]*entity.Entity, 0, ix.Len())
+	for _, sh := range ix.shards {
+		sh.mu.RLock()
+		for _, e := range sh.entities {
+			out = append(out, e)
+		}
+		sh.mu.RUnlock()
+	}
+	sortByID(out)
+	return out
+}
+
+// Stats returns a point-in-time summary.
+func (ix *ShardedIndex) Stats() Stats {
+	st := Stats{
+		Blocker:       ix.opts.Blocker.Name(),
+		Threshold:     ix.opts.Threshold,
+		Shards:        len(ix.shards),
+		ShardEntities: make([]int, len(ix.shards)),
+	}
+	for i, sh := range ix.shards {
+		sh.mu.RLock()
+		st.Entities += len(sh.entities)
+		st.Keys += sh.blocks.Keys()
+		st.ShardEntities[i] = len(sh.entities)
+		sh.mu.RUnlock()
+	}
+	return st
+}
+
+// shardMaxBlockCfg translates Options.MaxBlockSize into the per-shard
+// cap configuration: an explicit cap M > 0 becomes ⌈M/N⌉ per shard (a
+// key over-represented in the corpus is over-represented in each ~1/N
+// partition, so proportional caps preserve stop-token suppression
+// instead of letting every global stop block slip under the cap in all N
+// shards), 0 stays 0 (each shard derives its cap from its own partition
+// size, exactly like a single-shard index over that partition), and
+// negative stays negative (uncapped).
+func (ix *ShardedIndex) shardMaxBlockCfg() int {
+	m := ix.opts.MaxBlockSize
+	if m <= 0 {
+		return m
+	}
+	return (m + len(ix.shards) - 1) / len(ix.shards)
+}
+
+// effectiveMaxBlock resolves the shard's cap for one probe under the
+// shard lock, mirroring matching.Options.normalize with the shard's
+// partition (minus the probe's own record) as the B source.
+func (sh *shard) effectiveMaxBlock(probe *entity.Entity, cfg int) int {
+	switch {
+	case cfg > 0:
+		return cfg
+	case cfg < 0:
+		return 0 // BlockIndex treats ≤0 as uncapped
+	default:
+		n := len(sh.entities)
+		if _, ok := sh.entities[probe.ID]; ok {
+			n--
+		}
+		return n/20 + 50
+	}
+}
+
+// Candidates returns the indexed entities blocking proposes for the
+// probe, sorted by ID — the pre-scoring half of Query, exposed so
+// blocking quality is observable (and differentially testable) on its
+// own. The probe's own record (same ID) is never a candidate. With more
+// than one shard the result is the union of the per-shard candidate sets
+// (see the candidate-semantics notes on ShardedIndex).
+func (ix *ShardedIndex) Candidates(probe *entity.Entity) []*entity.Entity {
+	cfg := ix.shardMaxBlockCfg()
+	perShard := make([][]*entity.Entity, len(ix.shards))
+	ix.fanOut(func(i int, sh *shard) {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		perShard[i] = sh.blocks.Candidates(probe, sh.effectiveMaxBlock(probe, cfg))
+	})
+	var out []*entity.Entity
+	for _, cands := range perShard {
+		out = append(out, cands...)
+	}
+	sortByID(out)
+	return out
+}
+
+// Query matches the probe against the corpus and returns the top-k links
+// with score ≥ the threshold, ordered by descending score then candidate
+// ID (AID is always probe.ID). k ≤ 0 returns every link above the
+// threshold. The probe need not be indexed; if it is, its own record is
+// excluded. Shards are queried in parallel, each keeping a bounded top-k
+// heap, and the per-shard winners are merged.
+func (ix *ShardedIndex) Query(probe *entity.Entity, k int) []matching.Link {
+	cfg := ix.shardMaxBlockCfg()
+	perShard := make([][]matching.Link, len(ix.shards))
+	ix.fanOut(func(i int, sh *shard) {
+		perShard[i] = sh.query(probe, k, cfg, ix.opts.Threshold)
+	})
+	return mergeTopK(perShard, k)
+}
+
+// mergeTopK merges per-shard result lists into the final deterministic
+// order, truncated to k when k > 0.
+func mergeTopK(perShard [][]matching.Link, k int) []matching.Link {
+	var links []matching.Link
+	for _, ls := range perShard {
+		links = append(links, ls...)
+	}
+	sortLinks(links)
+	if k > 0 && len(links) > k {
+		links = links[:k:k]
+	}
+	return links
+}
+
+// QueryID matches the stored entity with the given ID against the rest
+// of the corpus. It reports false if the ID is not indexed. The lookup
+// and the home shard's portion of the query run under one lock
+// acquisition, so the probe version always matches its own shard's
+// corpus (at N=1 this is the full lookup+query atomicity of the retired
+// monolithic index); the other shards follow the usual relaxed
+// cross-shard isolation.
+func (ix *ShardedIndex) QueryID(id string, k int) ([]matching.Link, bool) {
+	cfg := ix.shardMaxBlockCfg()
+	hi := ix.ShardOf(id)
+	home := ix.shards[hi]
+	home.mu.RLock()
+	probe := home.entities[id]
+	var homeLinks []matching.Link
+	if probe != nil {
+		homeLinks = home.queryLocked(probe, k, cfg, ix.opts.Threshold)
+	}
+	home.mu.RUnlock()
+	if probe == nil {
+		return nil, false
+	}
+	perShard := make([][]matching.Link, len(ix.shards))
+	perShard[hi] = homeLinks
+	ix.fanOut(func(i int, sh *shard) {
+		if i == hi {
+			return
+		}
+		perShard[i] = sh.query(probe, k, cfg, ix.opts.Threshold)
+	})
+	return mergeTopK(perShard, k), true
+}
+
+// fanOut runs f once per shard — concurrently when the index has more
+// than one shard and the runtime can actually run goroutines in
+// parallel, inline otherwise: the single-shard case keeps the
+// no-goroutine query path of the retired monolithic index, and on a
+// GOMAXPROCS=1 runtime sequential shard visits have the same lock-wait
+// behavior without the spawn/join overhead.
+func (ix *ShardedIndex) fanOut(f func(i int, sh *shard)) {
+	if len(ix.shards) == 1 || runtime.GOMAXPROCS(0) == 1 {
+		for i, sh := range ix.shards {
+			f(i, sh)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(ix.shards))
+	for i, sh := range ix.shards {
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			f(i, sh)
+		}(i, sh)
+	}
+	wg.Wait()
+}
+
+// query answers one shard's share of a Query under the shard read lock,
+// returning its top-k links (all links above the threshold for k ≤ 0).
+func (sh *shard) query(probe *entity.Entity, k, maxBlockCfg int, threshold float64) []matching.Link {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.queryLocked(probe, k, maxBlockCfg, threshold)
+}
+
+// queryLocked is query with the shard lock already held.
+func (sh *shard) queryLocked(probe *entity.Entity, k, maxBlockCfg int, threshold float64) []matching.Link {
+	cands := sh.blocks.Candidates(probe, sh.effectiveMaxBlock(probe, maxBlockCfg))
+	if sh.entities[probe.ID] != probe {
+		// External probe (for this shard): cache its value sets only for
+		// the duration of the query (they are reused across every
+		// candidate), then drop them so the shard's cache tracks its own
+		// live entities only.
+		defer sh.scorer.Invalidate(probe)
+	}
+	if k > 0 {
+		// Preallocate bounded by the candidate count, not k: k comes
+		// straight from clients and the heap can never hold more links
+		// than there are candidates.
+		h := newTopK(k, min(k, len(cands)))
+		for _, cand := range cands {
+			if score := sh.scorer.Score(probe, cand); score >= threshold {
+				h.push(matching.Link{AID: probe.ID, BID: cand.ID, Score: score})
+			}
+		}
+		return h.links
+	}
+	var links []matching.Link
+	for _, cand := range cands {
+		if score := sh.scorer.Score(probe, cand); score >= threshold {
+			links = append(links, matching.Link{AID: probe.ID, BID: cand.ID, Score: score})
+		}
+	}
+	return links
+}
+
+// sortLinks orders links by descending score, then ascending candidate
+// ID — the deterministic result order of Query. Defined through weaker
+// so the per-shard heap's eviction order and the final merge order are
+// one definition and cannot drift apart.
+func sortLinks(links []matching.Link) {
+	sort.Slice(links, func(i, j int) bool {
+		return weaker(links[j], links[i])
+	})
+}
+
+// topK is a bounded min-heap of links: the root is the weakest link held
+// (lowest score, ties broken toward the lexicographically larger BID, the
+// inverse of the result order), so a shard scoring any number of
+// candidates keeps at most k links in memory.
+type topK struct {
+	k     int
+	links []matching.Link
+}
+
+func newTopK(k, capHint int) *topK {
+	return &topK{k: k, links: make([]matching.Link, 0, capHint)}
+}
+
+// weaker reports whether a loses to b in the final result order.
+func weaker(a, b matching.Link) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.BID > b.BID
+}
+
+func (h *topK) push(l matching.Link) {
+	if len(h.links) < h.k {
+		h.links = append(h.links, l)
+		// Sift up.
+		i := len(h.links) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !weaker(h.links[i], h.links[parent]) {
+				break
+			}
+			h.links[i], h.links[parent] = h.links[parent], h.links[i]
+			i = parent
+		}
+		return
+	}
+	if !weaker(h.links[0], l) {
+		return // l loses to the weakest held link
+	}
+	// Replace the root and sift down.
+	h.links[0] = l
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		weakest := i
+		if left < len(h.links) && weaker(h.links[left], h.links[weakest]) {
+			weakest = left
+		}
+		if right < len(h.links) && weaker(h.links[right], h.links[weakest]) {
+			weakest = right
+		}
+		if weakest == i {
+			return
+		}
+		h.links[i], h.links[weakest] = h.links[weakest], h.links[i]
+		i = weakest
+	}
+}

@@ -1,0 +1,162 @@
+package linkindex
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"genlink/internal/entity"
+	"genlink/internal/matching"
+	"genlink/internal/rule"
+)
+
+// SnapshotVersion is the format version WriteSnapshot emits. Readers
+// reject snapshots with a different version instead of guessing at their
+// layout.
+const SnapshotVersion = 1
+
+// snapshotFile is the on-disk snapshot layout: everything needed to
+// rebuild an equivalent index — the corpus, the rule and the options.
+// Block structures are NOT persisted; they are deterministic functions of
+// (blocker, corpus) and are rebuilt through the bulk-load path on
+// restore, which is both simpler and robust against block-structure
+// layout changes between versions.
+type snapshotFile struct {
+	Version      int              `json:"version"`
+	Created      string           `json:"created,omitempty"`
+	Shards       int              `json:"shards"`
+	Blocker      string           `json:"blocker,omitempty"`
+	Threshold    float64          `json:"threshold"`
+	MaxBlockSize int              `json:"max_block_size"`
+	Rule         *rule.Rule       `json:"rule"`
+	Entities     []*entity.Entity `json:"entities"`
+}
+
+// WriteSnapshot writes a versioned snapshot of the index — corpus, rule,
+// and options — as JSON. The blocker is recorded by its registry name
+// (matching.RegistryName); an index over a custom, non-registry blocker
+// still snapshots, but restoring it requires RestoreOptions.Blocker.
+// Each shard is read under its lock; see the isolation notes on
+// ShardedIndex for cross-shard semantics under concurrent writes.
+func (ix *ShardedIndex) WriteSnapshot(w io.Writer) error {
+	snap := snapshotFile{
+		Version:      SnapshotVersion,
+		Created:      time.Now().UTC().Format(time.RFC3339),
+		Shards:       len(ix.shards),
+		Blocker:      matching.RegistryName(ix.opts.Blocker),
+		Threshold:    ix.opts.Threshold,
+		MaxBlockSize: ix.opts.MaxBlockSize,
+		Rule:         ix.rule,
+		Entities:     ix.Entities(),
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&snap)
+}
+
+// SnapshotTo writes a snapshot to path atomically: the snapshot is
+// written to a temporary file in the same directory and renamed into
+// place, so a crash mid-write never truncates the previous snapshot.
+func (ix *ShardedIndex) SnapshotTo(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("linkindex: snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := ix.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("linkindex: snapshot: %w", err)
+	}
+	// Flush data before the rename becomes visible: on journaled
+	// filesystems a rename can be made durable before the file's blocks,
+	// and a power cut would leave an empty file where the previous good
+	// snapshot was.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("linkindex: snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("linkindex: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("linkindex: snapshot: %w", err)
+	}
+	// Make the rename itself durable: without a directory fsync the new
+	// directory entry may not survive a power cut even though the file
+	// data would.
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("linkindex: snapshot: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("linkindex: snapshot: %w", err)
+	}
+	return nil
+}
+
+// RestoreOptions tunes snapshot restoration.
+type RestoreOptions struct {
+	// Shards overrides the snapshot's shard count when > 0 — a corpus
+	// snapshotted with one shard count restores cleanly into any other,
+	// since shard assignment is a pure function of entity ID.
+	Shards int
+	// Blocker is used when the snapshot's blocker name does not resolve
+	// through matching.BlockerByName (a custom strategy). When the
+	// snapshot's name resolves, the snapshot wins: restoring with a
+	// different blocker would silently change candidate semantics.
+	Blocker matching.Blocker
+}
+
+// ReadSnapshot rebuilds an index from a snapshot written by
+// WriteSnapshot: the rule is recompiled, the options reconstructed, and
+// the block structures rebuilt by bulk-loading the corpus.
+func ReadSnapshot(r io.Reader, o RestoreOptions) (*ShardedIndex, error) {
+	var snap snapshotFile
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("linkindex: restore: %w", err)
+	}
+	if snap.Version != SnapshotVersion {
+		return nil, fmt.Errorf("linkindex: restore: snapshot version %d, this build reads %d", snap.Version, SnapshotVersion)
+	}
+	if snap.Rule == nil {
+		return nil, fmt.Errorf("linkindex: restore: snapshot has no rule")
+	}
+	bl := matching.BlockerByName(snap.Blocker)
+	if bl == nil {
+		bl = o.Blocker
+	}
+	if bl == nil {
+		return nil, fmt.Errorf("linkindex: restore: blocker %q is not a registry strategy; supply RestoreOptions.Blocker", snap.Blocker)
+	}
+	shards := snap.Shards
+	if o.Shards > 0 {
+		shards = o.Shards
+	}
+	for i, e := range snap.Entities {
+		if e == nil || e.ID == "" {
+			return nil, fmt.Errorf("linkindex: restore: entity %d has no id", i)
+		}
+	}
+	ix := NewSharded(snap.Rule, shards, matching.Options{
+		Threshold:    snap.Threshold,
+		MaxBlockSize: snap.MaxBlockSize,
+		Blocker:      bl,
+	})
+	ix.BulkLoad(snap.Entities)
+	return ix, nil
+}
+
+// RestoreFrom rebuilds an index from a snapshot file written by
+// SnapshotTo.
+func RestoreFrom(path string, o RestoreOptions) (*ShardedIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("linkindex: restore: %w", err)
+	}
+	defer f.Close()
+	return ReadSnapshot(f, o)
+}

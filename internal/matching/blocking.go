@@ -362,6 +362,26 @@ func BlockerNames() []string {
 	return []string{"token", "sortedneighborhood", "qgram", "multipass"}
 }
 
+// RegistryName maps a blocker back to the BlockerByName name that
+// reconstructs it, or "" when bl is not one of the registry's
+// default-parameter strategies (custom windows, keys or compositions
+// cannot be rebuilt from a name). Strategy names are compared via
+// Blocker.Name, which encodes the distinguishing parameters, so e.g.
+// SortedNeighborhood(4) correctly reports "" while SortedNeighborhood(0)
+// reports "sortedneighborhood". Snapshot persistence (internal/linkindex)
+// records this name so a restored index blocks identically.
+func RegistryName(bl Blocker) string {
+	if bl == nil {
+		return ""
+	}
+	for _, name := range BlockerNames() {
+		if b := BlockerByName(name); b != nil && b.Name() == bl.Name() {
+			return name
+		}
+	}
+	return ""
+}
+
 // BlockerByName resolves a strategy name (as listed by BlockerNames) to a
 // Blocker with default parameters. It returns nil for unknown names.
 func BlockerByName(name string) Blocker {

@@ -231,3 +231,27 @@ func TestMatchParallelPartitionsPairsEvenly(t *testing.T) {
 		}
 	}
 }
+
+// TestRegistryName pins the blocker → registry-name inverse that snapshot
+// persistence depends on: every registry default round-trips, and
+// parameterized variants (which a bare name could not rebuild) map to "".
+func TestRegistryName(t *testing.T) {
+	for _, name := range BlockerNames() {
+		if got := RegistryName(BlockerByName(name)); got != name {
+			t.Fatalf("RegistryName(BlockerByName(%q)) = %q", name, got)
+		}
+	}
+	for _, bl := range []Blocker{
+		SortedNeighborhood(4),
+		QGramBlocking(2),
+		MultiPass(TokenBlocking()),
+		SortedNeighborhoodBlocker{Window: 3, Key: PropertySortKey("name"), Label: "name"},
+	} {
+		if got := RegistryName(bl); got != "" {
+			t.Fatalf("RegistryName(%s) = %q, want \"\" for non-default strategy", bl.Name(), got)
+		}
+	}
+	if got := RegistryName(nil); got != "" {
+		t.Fatalf("RegistryName(nil) = %q, want \"\"", got)
+	}
+}

@@ -118,9 +118,22 @@ type (
 	// Index is a mutable, concurrency-safe matching index over one entity
 	// corpus: Add/Update/Remove entities online and Query for the top-k
 	// matches of a probe entity, scored through the compiled rule engine.
+	// Index is the single-shard case of the sharded storage layer; see
+	// NewShardedIndex for hash-partitioned shards with parallel query
+	// fan-out.
 	Index = linkindex.Index
-	// IndexStats summarizes an Index (corpus size, key entries, strategy).
+	// IndexStats summarizes an Index (corpus size, key entries, strategy,
+	// shard count and per-shard sizes).
 	IndexStats = linkindex.Stats
+	// IndexBatch is one group of writes for Index.Apply: upserts plus
+	// deletes, installed per shard under a single lock acquisition.
+	IndexBatch = linkindex.Batch
+	// IndexApplyResult counts the distinct upserts and deletes an
+	// Index.Apply call performed.
+	IndexApplyResult = linkindex.ApplyResult
+	// IndexRestoreOptions tunes RestoreIndex (shard-count override, the
+	// blocker to use when the snapshot's strategy is not a registry name).
+	IndexRestoreOptions = linkindex.RestoreOptions
 )
 
 // NewEntity returns an entity with the given id.
@@ -219,6 +232,33 @@ func MatchCartesian(r *Rule, a, b *Source, opts MatchOptions) []MatchedLink {
 // pipeline from Match to an Index changes latency, never semantics.
 func NewIndex(r *Rule, opts MatchOptions) *Index {
 	return linkindex.New(r, opts)
+}
+
+// NewShardedIndex returns an empty incremental matching index whose
+// corpus is hash-partitioned over the given number of shards (≤ 0 means
+// runtime.GOMAXPROCS(0)). Each shard holds its own block structures and
+// scorer behind its own lock: writes to different shards proceed in
+// parallel and never stall queries against the other shards, and queries
+// fan out across shards concurrently, merging per-shard top-k results.
+// NewIndex is the single-shard case of the same code path.
+//
+// Candidate semantics under sharding: identical to a single-shard Index
+// for token and q-gram blocking without block-size caps; for
+// sorted-neighborhood passes each shard applies the window to its own
+// partition, which yields a superset of the single-shard candidates
+// (recall never drops — a per-shard window of size w contains every
+// in-shard entity of the global window). See the linkindex.ShardedIndex
+// documentation for the full contract.
+func NewShardedIndex(r *Rule, shards int, opts MatchOptions) *Index {
+	return linkindex.NewSharded(r, shards, opts)
+}
+
+// RestoreIndex rebuilds an index from a snapshot file written by
+// Index.SnapshotTo: the corpus, rule, options and shard count are
+// restored and the block structures rebuilt, so queries against the
+// restored index answer exactly like the snapshotted one.
+func RestoreIndex(path string, o IndexRestoreOptions) (*Index, error) {
+	return linkindex.RestoreFrom(path, o)
 }
 
 // TokenBlocking returns the default blocking strategy: candidates share a
