@@ -16,10 +16,15 @@
 //     (top-10 queries) on a single-shard index vs an N-shard index,
 //     plus solo update throughput per write path → the "shard" section
 //     of BENCH_linkindex.json
+//   - durability: the crash-safe index (DurableIndex) — write throughput
+//     per WAL fsync policy (batch / interval / off) streaming the corpus
+//     through the write-ahead logged Apply path, and recovery time
+//     (snapshot load + log replay) as a function of log length → the
+//     "durability" section of BENCH_linkindex.json
 //
-// BENCH_linkindex.json holds one JSON object with an "index" and a
-// "shard" section; each workload rewrites its own section and preserves
-// the other.
+// BENCH_linkindex.json holds one JSON object with an "index", a "shard"
+// and a "durability" section; each workload rewrites its own section and
+// preserves the others.
 //
 // Usage:
 //
@@ -36,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
@@ -96,6 +102,7 @@ func main() {
 		mixRate    = flag.Float64("mixrate", 5000, "offered write rate (entities/sec) across all writers in the shard workload")
 		mixBatch   = flag.Int("mixbatch", 512, "entities per Apply batch in the shard workload's mixed load")
 		mixQRate   = flag.Float64("mixqrate", 400, "offered query rate (queries/sec) across all readers in the shard workload")
+		durBatch   = flag.Int("durbatch", 128, "entities per Apply batch in the durability workload")
 		seed       = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -132,8 +139,13 @@ func main() {
 			n = 2
 		}
 		runShardWorkload(ds, *out, *probes, *blocker, n, *mixWriters, *mixReaders, *mixDur, *mixRate, *mixQRate, *mixBatch, *seed)
+	case "durability":
+		if *out == "" {
+			*out = "BENCH_linkindex.json"
+		}
+		runDurabilityWorkload(ds, *out, *blocker, *durBatch)
 	default:
-		log.Fatalf("unknown workload %q (available: engine, index, shard)", *workload)
+		log.Fatalf("unknown workload %q (available: engine, index, shard, durability)", *workload)
 	}
 }
 
@@ -377,8 +389,8 @@ func runIndexWorkload(ds *entity.Dataset, out string, probes int, blockerName st
 	report.SingleProbeBatchNs = float64(time.Since(t0).Nanoseconds()) / float64(nSingle)
 	fmt.Printf("%-28s %12.0f ns/op\n", "batch/single-probe", report.SingleProbeBatchNs)
 
-	report.Speedups["query_vs_batch_candidatepairs"] = report.BatchCandidatePairsNs / report.QueryMeanNs
-	report.Speedups["query_vs_single_probe_batch"] = report.SingleProbeBatchNs / report.QueryMeanNs
+	report.Speedups["query_vs_batch_candidatepairs"] = ratio(report.BatchCandidatePairsNs, report.QueryMeanNs)
+	report.Speedups["query_vs_single_probe_batch"] = ratio(report.SingleProbeBatchNs, report.QueryMeanNs)
 
 	writeLinkIndexSection(out, "index", report)
 	fmt.Printf("\nquery is %.0fx faster than batch CandidatePairs, %.0fx faster than single-probe batch → %s\n",
@@ -387,15 +399,16 @@ func runIndexWorkload(ds *entity.Dataset, out string, probes int, blockerName st
 }
 
 // writeLinkIndexSection writes one workload's report into its section of
-// the combined BENCH_linkindex.json file ({"index": ..., "shard": ...}),
-// preserving the other section if the file already holds one. A file in
-// the pre-section flat layout is migrated by dropping it.
+// the combined BENCH_linkindex.json file ({"index": ..., "shard": ...,
+// "durability": ...}), preserving the other sections if the file already
+// holds them. A file in the pre-section flat layout is migrated by
+// dropping it.
 func writeLinkIndexSection(out, section string, v any) {
 	sections := make(map[string]json.RawMessage)
 	if data, err := os.ReadFile(out); err == nil {
 		var existing map[string]json.RawMessage
 		if json.Unmarshal(data, &existing) == nil {
-			for _, key := range []string{"index", "shard"} {
+			for _, key := range []string{"index", "shard", "durability"} {
 				if raw, ok := existing[key]; ok {
 					sections[key] = raw
 				}
@@ -659,11 +672,11 @@ func runShardWorkload(ds *entity.Dataset, out string, probes int, blockerName st
 	report.SingleShard = measure(1)
 	report.Sharded = measure(n)
 
-	report.Speedups["mixed_queries_sharded_vs_single"] = report.Sharded.MixedQueriesPerSec / report.SingleShard.MixedQueriesPerSec
-	report.Speedups["mixed_writes_sharded_vs_single"] = report.Sharded.MixedWritesPerSec / report.SingleShard.MixedWritesPerSec
-	report.Speedups["mixed_query_p50_single_vs_sharded"] = report.SingleShard.MixedQueryP50Ns / report.Sharded.MixedQueryP50Ns
-	report.Speedups["update_batched_vs_per_entity_single"] = report.SingleShard.UpdateBatchedPerSec / report.SingleShard.UpdatePerEntityPerSec
-	report.Speedups["update_batched_sharded_vs_single"] = report.Sharded.UpdateBatchedPerSec / report.SingleShard.UpdateBatchedPerSec
+	report.Speedups["mixed_queries_sharded_vs_single"] = ratio(report.Sharded.MixedQueriesPerSec, report.SingleShard.MixedQueriesPerSec)
+	report.Speedups["mixed_writes_sharded_vs_single"] = ratio(report.Sharded.MixedWritesPerSec, report.SingleShard.MixedWritesPerSec)
+	report.Speedups["mixed_query_p50_single_vs_sharded"] = ratio(report.SingleShard.MixedQueryP50Ns, report.Sharded.MixedQueryP50Ns)
+	report.Speedups["update_batched_vs_per_entity_single"] = ratio(report.SingleShard.UpdateBatchedPerSec, report.SingleShard.UpdatePerEntityPerSec)
+	report.Speedups["update_batched_sharded_vs_single"] = ratio(report.Sharded.UpdateBatchedPerSec, report.SingleShard.UpdateBatchedPerSec)
 
 	writeLinkIndexSection(out, "shard", report)
 	fmt.Printf("\nsharded (n=%d) vs single-shard under mixed load: %.1fx queries/s, %.1fx writes/s, %.1fx lower p50 → %s\n",
@@ -675,8 +688,192 @@ func runShardWorkload(ds *entity.Dataset, out string, probes int, blockerName st
 // quantile returns the linearly interpolated q-quantile of a sorted
 // sample. Nearest-rank p99 degenerates to the sample maximum below 100
 // samples; interpolation keeps small -probes runs comparable (though
-// ≥100 probes still give the trustworthy tail).
+// ≥100 probes still give the trustworthy tail). An empty sample — e.g.
+// mixed-load readers that completed zero queries inside the measurement
+// window — reports 0 rather than indexing sorted[-1].
+// PolicyWrite is one fsync policy's write-throughput measurement in the
+// durability workload.
+type PolicyWrite struct {
+	Policy string `json:"policy"`
+	// EntitiesPerSec is the durable write throughput: corpus entities
+	// streamed through WAL-logged Apply batches per second.
+	EntitiesPerSec float64 `json:"entities_per_sec"`
+	NsPerBatch     float64 `json:"ns_per_batch"`
+}
+
+// RecoveryPoint is one recovery-time measurement: a log of Records
+// batches (Entities upserts total, no snapshot past genesis) recovered
+// from cold.
+type RecoveryPoint struct {
+	Records       int     `json:"records"`
+	Entities      int     `json:"entities"`
+	RecoveryMs    float64 `json:"recovery_ms"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+}
+
+// DurabilityReport is the "durability" section of BENCH_linkindex.json.
+type DurabilityReport struct {
+	Generated       string  `json:"generated"`
+	GoVersion       string  `json:"go_version"`
+	NumCPU          int     `json:"num_cpu"`
+	Dataset         string  `json:"dataset"`
+	Blocker         string  `json:"blocker"`
+	Entities        int     `json:"entities"`
+	BatchSize       int     `json:"batch_size"`
+	FsyncIntervalMs float64 `json:"fsync_interval_ms"`
+
+	WriteThroughput []PolicyWrite   `json:"write_throughput"`
+	Recovery        []RecoveryPoint `json:"recovery"`
+
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+// runDurabilityWorkload measures the crash-safety tax and the recovery
+// curve: the dataset's B source is streamed through DurableIndex.Apply
+// in fixed-size batches once per fsync policy (write throughput = what
+// each durability level costs), then logs of increasing length are
+// recovered from cold (snapshot load + replay).
+func runDurabilityWorkload(ds *entity.Dataset, out, blockerName string, batchSize int) {
+	bl := matching.BlockerByName(blockerName)
+	if bl == nil {
+		log.Fatalf("unknown blocker %q (available: %v)", blockerName, matching.BlockerNames())
+	}
+	if batchSize <= 0 {
+		batchSize = 128
+	}
+	r := probeRule(ds)
+	corpus := ds.B.Entities
+	opts := matching.Options{Blocker: bl}
+
+	report := &DurabilityReport{
+		Generated:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:       runtime.Version(),
+		NumCPU:          runtime.NumCPU(),
+		Dataset:         ds.Name,
+		Blocker:         bl.Name(),
+		Entities:        len(corpus),
+		BatchSize:       batchSize,
+		FsyncIntervalMs: 10,
+		Speedups:        map[string]float64{},
+	}
+
+	// stream applies corpus[:n] in batches and returns the wall-clock
+	// nanoseconds of the Apply calls plus the batch count.
+	stream := func(d *linkindex.DurableIndex, n int) (float64, int) {
+		batches := 0
+		t0 := time.Now()
+		for i := 0; i < n; i += batchSize {
+			hi := i + batchSize
+			if hi > n {
+				hi = n
+			}
+			if _, err := d.Apply(linkindex.Batch{Upserts: corpus[i:hi]}); err != nil {
+				log.Fatal(err)
+			}
+			batches++
+		}
+		return float64(time.Since(t0).Nanoseconds()), batches
+	}
+
+	// Write throughput per fsync policy. Auto-snapshots are disabled so
+	// the measurement isolates the log append + fsync cost.
+	dopts := func(p linkindex.FsyncPolicy) linkindex.DurableOptions {
+		return linkindex.DurableOptions{
+			Fsync:         p,
+			FsyncInterval: time.Duration(report.FsyncIntervalMs) * time.Millisecond,
+			SnapshotEvery: -1,
+		}
+	}
+	perSec := map[string]float64{}
+	for _, p := range []linkindex.FsyncPolicy{linkindex.FsyncOff, linkindex.FsyncIntervalPolicy, linkindex.FsyncBatch} {
+		dir, err := os.MkdirTemp("", "genlink-bench-wal-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := linkindex.NewDurable(dir, linkindex.NewSharded(r, 1, opts), dopts(p))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ns, batches := stream(d, len(corpus))
+		if err := d.Close(); err != nil {
+			log.Fatal(err)
+		}
+		os.RemoveAll(dir)
+		pw := PolicyWrite{
+			Policy:         p.String(),
+			EntitiesPerSec: float64(len(corpus)) / (ns / 1e9),
+			NsPerBatch:     ns / float64(batches),
+		}
+		perSec[pw.Policy] = pw.EntitiesPerSec
+		report.WriteThroughput = append(report.WriteThroughput, pw)
+		fmt.Printf("%-28s %12.0f ns/batch %10.0f entities/sec\n",
+			"durability/write(fsync="+pw.Policy+")", pw.NsPerBatch, pw.EntitiesPerSec)
+	}
+	report.Speedups["fsync_off_vs_batch"] = ratio(perSec["off"], perSec["batch"])
+	report.Speedups["fsync_interval_vs_batch"] = ratio(perSec["interval"], perSec["batch"])
+
+	// Recovery time vs log length: logs of n/4, n/2 and n entities with
+	// only the genesis snapshot, recovered from cold — the worst case a
+	// crash between auto-snapshots can leave.
+	for _, frac := range []int{4, 2, 1} {
+		n := len(corpus) / frac
+		dir, err := os.MkdirTemp("", "genlink-bench-recover-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := linkindex.NewDurable(dir, linkindex.NewSharded(r, 1, opts), dopts(linkindex.FsyncOff))
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, batches := stream(d, n)
+		if err := d.Close(); err != nil {
+			log.Fatal(err)
+		}
+		rec, stats, err := linkindex.Recover(dir, linkindex.DurableOptions{SnapshotEvery: -1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if stats.RecordsReplayed != batches || rec.Len() != n {
+			log.Fatalf("recovery replayed %d records into %d entities, want %d records / %d entities",
+				stats.RecordsReplayed, rec.Len(), batches, n)
+		}
+		if err := rec.Close(); err != nil {
+			log.Fatal(err)
+		}
+		os.RemoveAll(dir)
+		pt := RecoveryPoint{
+			Records:       batches,
+			Entities:      n,
+			RecoveryMs:    float64(stats.Duration.Microseconds()) / 1000,
+			RecordsPerSec: ratio(float64(batches), stats.Duration.Seconds()),
+		}
+		report.Recovery = append(report.Recovery, pt)
+		fmt.Printf("%-28s %10.1f ms (%d records, %d entities)\n",
+			"durability/recover", pt.RecoveryMs, pt.Records, pt.Entities)
+	}
+
+	writeLinkIndexSection(out, "durability", report)
+	fmt.Printf("\nfsync off is %.1fx batch, interval %.1fx batch; full-log recovery %.1f ms → %s\n",
+		report.Speedups["fsync_off_vs_batch"], report.Speedups["fsync_interval_vs_batch"],
+		report.Recovery[len(report.Recovery)-1].RecoveryMs, out)
+}
+
+// ratio returns num/den sanitized for JSON: a measurement that recorded
+// 0 ops/s (a contended run where one side never completed an operation)
+// must not produce ±Inf or NaN, which encoding/json refuses to marshal —
+// that would fail the whole report write. Degenerate ratios report 0.
+func ratio(num, den float64) float64 {
+	r := num / den
+	if math.IsNaN(r) || math.IsInf(r, 0) {
+		return 0
+	}
+	return r
+}
+
 func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
 	if len(sorted) == 1 {
 		return sorted[0]
 	}

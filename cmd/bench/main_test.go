@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestQuantileEmptySample pins the satellite bugfix: mixed-load readers
+// that complete zero queries inside the measurement window hand quantile
+// an empty sample, which used to index sorted[-1] and panic.
+func TestQuantileEmptySample(t *testing.T) {
+	if got := quantile(nil, 0.99); got != 0 {
+		t.Fatalf("quantile(nil, 0.99) = %v, want 0", got)
+	}
+	if got := quantile([]float64{}, 0.50); got != 0 {
+		t.Fatalf("quantile([], 0.50) = %v, want 0", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	cases := []struct {
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{[]float64{42}, 0.99, 42},
+		{[]float64{10, 20}, 0.5, 15},
+		{[]float64{10, 20, 30}, 0, 10},
+		{[]float64{10, 20, 30}, 1, 30},
+		{[]float64{10, 20, 30, 40}, 0.5, 25},
+		{[]float64{10, 20, 30, 40}, 0.25, 17.5},
+	}
+	for _, tc := range cases {
+		if got := quantile(tc.sorted, tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("quantile(%v, %v) = %v, want %v", tc.sorted, tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestRatioSanitizesDegenerateRates pins the other satellite bugfix: a
+// 0 ops/s measurement must yield a JSON-marshalable 0, not +Inf/NaN
+// (encoding/json refuses non-finite floats, which failed the whole
+// BENCH_linkindex.json write).
+func TestRatioSanitizesDegenerateRates(t *testing.T) {
+	cases := []struct {
+		num, den, want float64
+	}{
+		{100, 0, 0},  // +Inf
+		{-100, 0, 0}, // -Inf
+		{0, 0, 0},    // NaN
+		{100, 50, 2}, // ordinary
+		{0, 50, 0},   // zero numerator is a fine zero
+		{math.Inf(1), 1, 0},
+	}
+	for _, tc := range cases {
+		if got := ratio(tc.num, tc.den); got != tc.want {
+			t.Errorf("ratio(%v, %v) = %v, want %v", tc.num, tc.den, got, tc.want)
+		}
+	}
+}
+
+// TestShardReportWithZeroRatesMarshals builds the report exactly the way
+// runShardWorkload does from an all-zero measurement (the degenerate run
+// that used to poison the JSON write) and checks it marshals.
+func TestShardReportWithZeroRatesMarshals(t *testing.T) {
+	report := &ShardReport{Speedups: map[string]float64{}}
+	report.Speedups["mixed_queries_sharded_vs_single"] = ratio(report.Sharded.MixedQueriesPerSec, report.SingleShard.MixedQueriesPerSec)
+	report.Speedups["mixed_writes_sharded_vs_single"] = ratio(report.Sharded.MixedWritesPerSec, report.SingleShard.MixedWritesPerSec)
+	report.Speedups["mixed_query_p50_single_vs_sharded"] = ratio(report.SingleShard.MixedQueryP50Ns, report.Sharded.MixedQueryP50Ns)
+	report.Speedups["update_batched_vs_per_entity_single"] = ratio(report.SingleShard.UpdateBatchedPerSec, report.SingleShard.UpdatePerEntityPerSec)
+	report.Speedups["update_batched_sharded_vs_single"] = ratio(report.Sharded.UpdateBatchedPerSec, report.SingleShard.UpdateBatchedPerSec)
+	if _, err := json.Marshal(report); err != nil {
+		t.Fatalf("zero-rate ShardReport does not marshal: %v", err)
+	}
+}
+
+// TestWriteLinkIndexSectionPreservesOthers pins the sectioned layout of
+// BENCH_linkindex.json: each workload rewrites only its own section.
+func TestWriteLinkIndexSectionPreservesOthers(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	writeLinkIndexSection(out, "index", map[string]int{"v": 1})
+	writeLinkIndexSection(out, "shard", map[string]int{"v": 2})
+	writeLinkIndexSection(out, "durability", map[string]int{"v": 3})
+	writeLinkIndexSection(out, "index", map[string]int{"v": 4}) // rewrite one
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sections map[string]map[string]int
+	if err := json.Unmarshal(data, &sections); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"index": 4, "shard": 2, "durability": 3}
+	for key, v := range want {
+		if sections[key]["v"] != v {
+			t.Fatalf("section %q = %v, want v=%d (full: %v)", key, sections[key], v, sections)
+		}
+	}
+}

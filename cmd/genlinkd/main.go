@@ -9,6 +9,7 @@
 //	genlinkd -rule rule.json [-addr :8080] [-blocker multipass] [-threshold 0.5] [-shards 0]
 //	genlinkd -dataset Cora [-population 100] [-iterations 10]   # learn at startup, bulk-load side B
 //	genlinkd -rule rule.json -snapshot index.snap               # restore if present, flush on shutdown
+//	genlinkd -rule rule.json -wal-dir /var/lib/genlink          # crash-safe: WAL + auto-snapshots
 //
 // The corpus is hash-partitioned over -shards partitions (0 means one
 // per CPU), so writes stall only the shard they touch and queries fan
@@ -17,6 +18,16 @@
 // -rule/-dataset seeding), saved on demand via POST /snapshot, and
 // flushed a final time on graceful shutdown (SIGINT/SIGTERM drains
 // in-flight requests first).
+//
+// With -wal-dir the server is crash-safe, not just restart-safe: every
+// write is appended to a segmented, CRC-checked write-ahead log before
+// it is applied (-fsync batch|interval|off selects when it hits disk),
+// snapshots are taken automatically every -auto-snapshot records (and
+// every -auto-snapshot-interval, when set), and log segments a snapshot
+// covers are compacted away. At startup the state is recovered from the
+// newest valid snapshot plus the log tail — a kill -9 mid-write loses at
+// most the final torn, unacknowledged record under -fsync batch.
+// -wal-dir and -snapshot are mutually exclusive.
 //
 // Endpoints:
 //
@@ -38,7 +49,9 @@
 //	                        shard count and per-shard sizes
 //	GET    /metrics         expvar-style counters: entities, queries,
 //	                        writes, deletes, snapshots, per-shard sizes,
-//	                        query latency buckets
+//	                        query latency buckets, wal_records,
+//	                        wal_segments, wal_snapshot_seq,
+//	                        last_recovery_ms
 //	GET    /healthz         liveness
 package main
 
@@ -78,6 +91,11 @@ func main() {
 		k          = flag.Int("k", 10, "default number of matches per query (k= overrides per request)")
 		shards     = flag.Int("shards", 0, "index shard count (0 = one per CPU)")
 		snapshot   = flag.String("snapshot", "", "snapshot file: restored at startup if present, written by POST /snapshot and on shutdown")
+		walDir     = flag.String("wal-dir", "", "durability directory: write-ahead log + auto-snapshots, recovered at startup (mutually exclusive with -snapshot)")
+		fsync      = flag.String("fsync", "batch", "WAL fsync policy: batch (fsync per write), interval (group-commit) or off")
+		fsyncInt   = flag.Duration("fsync-interval", 100*time.Millisecond, "group-commit period for -fsync interval")
+		autoSnap   = flag.Int("auto-snapshot", 10000, "auto-snapshot after this many WAL records (negative disables)")
+		autoSnapT  = flag.Duration("auto-snapshot-interval", 0, "also auto-snapshot on this interval when records arrived (0 disables)")
 	)
 	flag.Parse()
 
@@ -86,12 +104,52 @@ func main() {
 		log.Fatalf("unknown blocker %q (available: %v)", *blocker, genlinkapi.BlockerNames())
 	}
 
-	ix, err := buildIndex(*ruleFile, *dataset, *population, *iterations, *seed, *shards, *threshold, *snapshot, bl)
-	if err != nil {
-		log.Fatal(err)
+	var (
+		ix       *genlinkapi.Index
+		dix      *genlinkapi.DurableIndex
+		recovery genlinkapi.RecoveryStats
+		err      error
+	)
+	switch {
+	case *walDir != "" && *snapshot != "":
+		log.Fatal("-wal-dir and -snapshot are mutually exclusive (the WAL directory holds its own snapshots)")
+	case *walDir != "":
+		policy, ok := genlinkapi.FsyncPolicyByName(*fsync)
+		if !ok {
+			log.Fatalf("unknown -fsync policy %q (available: batch, interval, off)", *fsync)
+		}
+		dix, recovery, err = genlinkapi.OpenDurableIndex(*walDir, func() (*genlinkapi.Index, error) {
+			return freshIndex(*ruleFile, *dataset, *population, *iterations, *seed, *shards, *threshold, bl)
+		}, genlinkapi.DurableIndexOptions{
+			Fsync:            policy,
+			FsyncInterval:    *fsyncInt,
+			SnapshotEvery:    *autoSnap,
+			SnapshotInterval: *autoSnapT,
+			Shards:           *shards,
+			Logf:             log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ix = dix.Index()
+		if recovery.Recovered {
+			log.Printf("recovered %d entities from %s in %s (snapshot seq %d + %d log records replayed, torn tail discarded: %v)",
+				ix.Len(), *walDir, recovery.Duration.Round(time.Millisecond),
+				recovery.SnapshotSeq, recovery.RecordsReplayed, recovery.Torn)
+		} else {
+			log.Printf("initialized durable state in %s (fsync %s, auto-snapshot every %d records)",
+				*walDir, policy, *autoSnap)
+		}
+	default:
+		ix, err = buildIndex(*ruleFile, *dataset, *population, *iterations, *seed, *shards, *threshold, *snapshot, bl)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	srv := newServer(ix, *k, *snapshot)
+	srv.dix = dix
+	srv.recoveryMs = float64(recovery.Duration.Microseconds()) / 1000
 	st := ix.Stats()
 	log.Printf("serving on %s (blocker %s, %d shards, %d entities)", *addr, st.Blocker, st.Shards, st.Entities)
 	// Explicit timeouts so stalled clients (slowloris headers, never-
@@ -124,10 +182,12 @@ func main() {
 		if err := hs.Shutdown(shutdownCtx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
-		if err := srv.flushSnapshot(); err != nil {
+		if err := srv.shutdownPersist(); err != nil {
 			log.Printf("final snapshot: %v", err)
 		} else if *snapshot != "" {
 			log.Printf("final snapshot written to %s", *snapshot)
+		} else if *walDir != "" {
+			log.Printf("final snapshot written to %s; log compacted", *walDir)
 		}
 	}
 }
@@ -157,6 +217,12 @@ func buildIndex(ruleFile, dataset string, population, iterations int, seed int64
 		}
 	}
 
+	return freshIndex(ruleFile, dataset, population, iterations, seed, shards, threshold, bl)
+}
+
+// freshIndex builds a brand-new index from -rule or -dataset — the
+// startup path when there is no persisted state to restore.
+func freshIndex(ruleFile, dataset string, population, iterations int, seed int64, shards int, threshold float64, bl genlinkapi.Blocker) (*genlinkapi.Index, error) {
 	var (
 		r            *genlinkapi.Rule
 		seedEntities []*genlinkapi.Entity
@@ -189,7 +255,7 @@ func buildIndex(ruleFile, dataset string, population, iterations int, seed int64
 		log.Printf("learned: %s", r.Render())
 		seedEntities = ds.B.Entities
 	default:
-		return nil, errors.New("one of -rule, -dataset or an existing -snapshot is required")
+		return nil, errors.New("one of -rule, -dataset or existing persisted state (-snapshot / -wal-dir) is required")
 	}
 
 	ix := genlinkapi.NewShardedIndex(r, shards, genlinkapi.MatchOptions{Blocker: bl, Threshold: threshold})
@@ -245,11 +311,15 @@ func (m *metrics) observeQuery(d time.Duration) {
 // server wires an index into HTTP handlers. Beyond the default k, the
 // snapshot path and the metrics counters it holds no state of its own:
 // the index is the single synchronized source of truth, so handlers are
-// trivially safe under concurrent requests.
+// trivially safe under concurrent requests. When dix is set (-wal-dir),
+// every mutation routes through the durable wrapper — logged before
+// applied — and ix is its underlying index, used for reads.
 type server struct {
 	ix           *genlinkapi.Index
+	dix          *genlinkapi.DurableIndex
 	defaultK     int
 	snapshotPath string
+	recoveryMs   float64
 	m            metrics
 }
 
@@ -273,6 +343,24 @@ func (s *server) flushSnapshot() error {
 	}
 	s.m.snapshots.Add(1)
 	return nil
+}
+
+// shutdownPersist is the graceful-shutdown hook: on a durable server it
+// takes a final snapshot (compacting the log) and closes the WAL; on a
+// -snapshot server it flushes the snapshot file; otherwise it is a
+// no-op.
+func (s *server) shutdownPersist() error {
+	if s.dix == nil {
+		return s.flushSnapshot()
+	}
+	err := s.dix.Snapshot()
+	if err == nil {
+		s.m.snapshots.Add(1)
+	}
+	if cerr := s.dix.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // routes builds the HTTP mux (method-qualified patterns, Go 1.22+).
@@ -325,7 +413,19 @@ func (s *server) handlePostEntities(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res := s.ix.Apply(genlinkapi.IndexBatch{Upserts: entities})
+	var res genlinkapi.IndexApplyResult
+	if s.dix != nil {
+		// Durable path: the batch is write-ahead logged (and fsynced per
+		// the -fsync policy) before it is applied; a log failure means
+		// the write is NOT durable, so it is not applied and the client
+		// sees a 500 instead of a lying 200.
+		if res, err = s.dix.Apply(genlinkapi.IndexBatch{Upserts: entities}); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	} else {
+		res = s.ix.Apply(genlinkapi.IndexBatch{Upserts: entities})
+	}
 	s.m.writes.Add(int64(res.Upserted))
 	writeJSON(w, http.StatusOK, map[string]int{"added": res.Upserted, "entities": s.ix.Len()})
 }
@@ -380,7 +480,24 @@ func (s *server) handleGetEntity(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleDeleteEntity(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.ix.Remove(id) {
+	if s.dix != nil {
+		// Cheap existence pre-check so 404s don't append log records; the
+		// durable Remove re-checks under the write path, so a racing
+		// delete still answers 404, never double-counts.
+		if s.ix.Get(id) == nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown entity %q", id))
+			return
+		}
+		present, err := s.dix.Remove(id)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		if !present {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown entity %q", id))
+			return
+		}
+	} else if !s.ix.Remove(id) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown entity %q", id))
 		return
 	}
@@ -436,11 +553,30 @@ func (s *server) handleMatchProbe(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, toMatchResponse(entities[0].ID, k, links))
 }
 
-// handleSnapshot writes a snapshot to the configured -snapshot path on
-// demand. Without -snapshot there is nowhere to write: 409.
+// handleSnapshot persists on demand: on a durable server it snapshots
+// into the WAL directory and compacts the log; otherwise it writes the
+// configured -snapshot path. Without either there is nowhere to write:
+// 409.
 func (s *server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	if s.dix != nil {
+		t0 := time.Now()
+		if err := s.dix.Snapshot(); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.m.snapshots.Add(1)
+		dm := s.dix.Metrics()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"wal_dir":      s.dix.Dir(),
+			"snapshot_seq": dm.SnapshotSeq,
+			"wal_segments": dm.WALSegments,
+			"entities":     s.ix.Len(),
+			"ms":           float64(time.Since(t0).Microseconds()) / 1000,
+		})
+		return
+	}
 	if s.snapshotPath == "" {
-		writeError(w, http.StatusConflict, errors.New("server runs without -snapshot; no snapshot path configured"))
+		writeError(w, http.StatusConflict, errors.New("server runs without -snapshot or -wal-dir; no snapshot destination configured"))
 		return
 	}
 	t0 := time.Now()
@@ -476,7 +612,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for i, b := range queryLatencyBuckets {
 		buckets[b.label] = s.m.latencyBuckets[i].Load()
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"entities":              st.Entities,
 		"shards":                st.Shards,
 		"shard_entities":        st.ShardEntities,
@@ -486,7 +622,18 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"deletes":               s.m.deletes.Load(),
 		"snapshots":             s.m.snapshots.Load(),
 		"query_latency_buckets": buckets,
-	})
+		"last_recovery_ms":      s.recoveryMs,
+	}
+	// Durability gauges: zero-valued without -wal-dir so dashboards can
+	// rely on the keys existing.
+	var dm genlinkapi.DurableIndexMetrics
+	if s.dix != nil {
+		dm = s.dix.Metrics()
+	}
+	out["wal_records"] = dm.WALRecords
+	out["wal_segments"] = dm.WALSegments
+	out["wal_snapshot_seq"] = dm.SnapshotSeq
+	writeJSON(w, http.StatusOK, out)
 }
 
 // parseK reads the k parameter: absent means the server default, 0 is

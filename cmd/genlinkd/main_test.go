@@ -503,3 +503,173 @@ func TestServerConcurrentQueriesDuringUpdates(t *testing.T) {
 		}
 	}
 }
+
+// newDurableTestServer builds a test server whose writes are
+// write-ahead logged into dir.
+func newDurableTestServer(t *testing.T, dir string, opts genlinkapi.DurableIndexOptions) (*httptest.Server, *genlinkapi.DurableIndex) {
+	t.Helper()
+	dix, _, err := genlinkapi.OpenDurableIndex(dir, func() (*genlinkapi.Index, error) {
+		return genlinkapi.NewShardedIndex(serveRule(t), 3, genlinkapi.MatchOptions{
+			Blocker: genlinkapi.MultiPass(),
+		}), nil
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(dix.Index(), 10, "")
+	srv.dix = dix
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return ts, dix
+}
+
+// TestHandlerErrorPaths is the table-driven 4xx sweep: malformed or
+// incomplete requests must answer a client error — never a 500, never
+// an empty 200 that quietly did nothing.
+func TestHandlerErrorPaths(t *testing.T) {
+	ts, _ := newTestServer(t)
+	c := ts.Client()
+	// Seed one entity so the probe-shaped cases hit a live corpus.
+	if code := doJSON(t, c, "POST", ts.URL+"/entities", entityJSON("a", "Grace Hopper", "compilers"), nil); code != 200 {
+		t.Fatalf("seed POST /entities = %d", code)
+	}
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   []byte
+		want   int
+	}{
+		{"match without id", "GET", "/match", nil, 400},
+		{"match with empty id", "GET", "/match?id=", nil, 400},
+		{"match with bad k", "GET", "/match?id=a&k=abc", nil, 400},
+		{"match with negative k", "GET", "/match?id=a&k=-1", nil, 400},
+		{"match of unknown id", "GET", "/match?id=ghost", nil, 404},
+		{"post entities malformed json", "POST", "/entities", []byte(`{"id": "x",`), 400},
+		{"post entities empty body", "POST", "/entities", []byte(``), 400},
+		{"post entities not an object", "POST", "/entities", []byte(`42`), 400},
+		{"post entities missing id", "POST", "/entities", []byte(`{"properties":{"name":["x"]}}`), 400},
+		{"post entities empty id", "POST", "/entities", []byte(`{"id":"","properties":{"name":["x"]}}`), 400},
+		{"post entities array with empty id", "POST", "/entities", []byte(`[{"id":"ok"},{"id":""}]`), 400},
+		{"post entities array with null", "POST", "/entities", []byte(`[{"id":"ok"},null]`), 400},
+		{"post match malformed json", "POST", "/match", []byte(`not json`), 400},
+		{"post match empty body", "POST", "/match", []byte(``), 400},
+		{"post match empty id", "POST", "/match", []byte(`{"id":""}`), 400},
+		{"post match array of two", "POST", "/match", []byte(`[{"id":"p1"},{"id":"p2"}]`), 400},
+		{"post match empty array", "POST", "/match", []byte(`[]`), 400},
+		{"post match bad k", "POST", "/match?k=x", []byte(`{"id":"p"}`), 400},
+		{"delete unknown entity", "DELETE", "/entities/ghost", nil, 404},
+		{"get unknown entity", "GET", "/entities/ghost", nil, 404},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var errBody map[string]string
+			code := doJSON(t, c, tc.method, ts.URL+tc.path, tc.body, nil)
+			if code != tc.want {
+				t.Fatalf("%s %s = %d, want %d", tc.method, tc.path, code, tc.want)
+			}
+			// Error responses must carry a JSON error body, not be empty.
+			req, _ := http.NewRequest(tc.method, ts.URL+tc.path, bytes.NewReader(tc.body))
+			resp, err := c.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if err := json.NewDecoder(resp.Body).Decode(&errBody); err != nil {
+				t.Fatalf("error response is not JSON: %v", err)
+			}
+			if errBody["error"] == "" {
+				t.Fatalf("error response carries no error message: %v", errBody)
+			}
+		})
+	}
+
+	// A rejected batch must be all-or-nothing: "ok" from the mixed array
+	// cases must not have been indexed.
+	if code := doJSON(t, c, "GET", ts.URL+"/entities/ok", nil, nil); code != 404 {
+		t.Fatalf("rejected batch partially applied: GET /entities/ok = %d, want 404", code)
+	}
+}
+
+// TestDurableServerCrashRecovery drives the -wal-dir path end to end:
+// writes and deletes through the handlers, a crash without any final
+// snapshot (Close flushes the log tail, like a SIGKILL after the last
+// acknowledged fsync), and a restart that must recover the acknowledged
+// state and keep answering queries and accepting writes.
+func TestDurableServerCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opts := genlinkapi.DurableIndexOptions{Fsync: genlinkapi.FsyncBatch, SnapshotEvery: -1}
+	ts, dix := newDurableTestServer(t, dir, opts)
+	c := ts.Client()
+
+	bulk := []byte(`[` + string(entityJSON("a", "Grace Hopper", "compilers")) + `,` +
+		string(entityJSON("b", "grace hoper", "compilers")) + `,` +
+		string(entityJSON("c", "Alan Turing", "computability")) + `,` +
+		string(entityJSON("d", "Ada Lovelace", "notes")) + `]`)
+	if code := doJSON(t, c, "POST", ts.URL+"/entities", bulk, nil); code != 200 {
+		t.Fatalf("POST /entities = %d", code)
+	}
+	if code := doJSON(t, c, "DELETE", ts.URL+"/entities/d", nil, nil); code != 204 {
+		t.Fatalf("DELETE = %d", code)
+	}
+	// POST /snapshot persists into the WAL dir and reports the seq.
+	var snapResp map[string]any
+	if code := doJSON(t, c, "POST", ts.URL+"/snapshot", nil, &snapResp); code != 200 {
+		t.Fatalf("POST /snapshot = %d", code)
+	}
+	if snapResp["snapshot_seq"].(float64) != 2 || int(snapResp["entities"].(float64)) != 3 {
+		t.Fatalf("snapshot response = %v, want seq 2 over 3 entities", snapResp)
+	}
+	// More acknowledged writes after the snapshot: recovery must replay
+	// them from the log tail.
+	if code := doJSON(t, c, "POST", ts.URL+"/entities", entityJSON("e", "John McCarthy", "lisp"), nil); code != 200 {
+		t.Fatalf("POST /entities = %d", code)
+	}
+	var m map[string]any
+	doJSON(t, c, "GET", ts.URL+"/metrics", nil, &m)
+	if m["wal_records"].(float64) != 3 || m["wal_snapshot_seq"].(float64) != 2 {
+		t.Fatalf("metrics = wal_records %v, wal_snapshot_seq %v; want 3 and 2", m["wal_records"], m["wal_snapshot_seq"])
+	}
+	var wantMatch matchResponse
+	if code := doJSON(t, c, "GET", ts.URL+"/match?id=a&k=5", nil, &wantMatch); code != 200 {
+		t.Fatalf("GET /match = %d", code)
+	}
+
+	// Crash: no shutdownPersist, no final snapshot.
+	ts.Close()
+	if err := dix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ts2, dix2 := newDurableTestServer(t, dir, opts)
+	defer dix2.Close()
+	c = ts2.Client()
+	var stats map[string]any
+	doJSON(t, c, "GET", ts2.URL+"/stats", nil, &stats)
+	if stats["entities"].(float64) != 4 {
+		t.Fatalf("recovered stats = %v, want 4 entities (a,b,c,e)", stats)
+	}
+	var gotMatch matchResponse
+	if code := doJSON(t, c, "GET", ts2.URL+"/match?id=a&k=5", nil, &gotMatch); code != 200 {
+		t.Fatalf("recovered GET /match = %d", code)
+	}
+	if len(gotMatch.Links) != len(wantMatch.Links) {
+		t.Fatalf("recovered match = %+v, want %+v", gotMatch.Links, wantMatch.Links)
+	}
+	for i := range gotMatch.Links {
+		if gotMatch.Links[i] != wantMatch.Links[i] {
+			t.Fatalf("recovered match[%d] = %+v, want %+v", i, gotMatch.Links[i], wantMatch.Links[i])
+		}
+	}
+	if code := doJSON(t, c, "GET", ts2.URL+"/entities/d", nil, nil); code != 404 {
+		t.Fatal("deleted entity d came back after recovery")
+	}
+	// The recovered server keeps accepting durable writes.
+	if code := doJSON(t, c, "POST", ts2.URL+"/entities", entityJSON("f", "Barbara Liskov", "abstraction"), nil); code != 200 {
+		t.Fatalf("post-recovery POST /entities = %d", code)
+	}
+	if dix2.Metrics().WALRecords != 4 {
+		t.Fatalf("post-recovery WALRecords = %d, want 4", dix2.Metrics().WALRecords)
+	}
+}

@@ -1,0 +1,526 @@
+package linkindex
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"genlink/internal/entity"
+	"genlink/internal/matching"
+)
+
+// DurableIndex turns a ShardedIndex from a cache into a store: every
+// mutation is appended to a segmented, CRC-checked write-ahead log
+// before it is applied, snapshots are taken automatically on policy, and
+// Recover rebuilds the exact index from the newest valid snapshot plus
+// the log tail after a crash.
+//
+// Durability contract, by fsync policy:
+//
+//   - FsyncBatch: an Apply that returned nil survives kill -9 and power
+//     loss. A crash mid-append leaves at most one torn final record,
+//     which recovery discards — the unacknowledged batch it held was
+//     never confirmed to the caller.
+//   - FsyncIntervalPolicy: acknowledged batches reach the OS
+//     immediately and the disk within one FsyncInterval; a power cut can
+//     lose up to one interval of acknowledged writes, a process crash
+//     loses nothing the OS had accepted.
+//   - FsyncOff: the page cache decides. A process crash loses at most
+//     the buffered tail; a power cut can lose everything since the last
+//     snapshot.
+//
+// Mutations (Apply/Add/Update/Remove) are serialized by one mutex so the
+// log order always equals the apply order — recovery replays the log and
+// lands on the same state. Queries read the underlying index directly
+// and are never blocked by the log. Do not mutate the underlying index
+// behind the wrapper's back (via Index()): those writes would be
+// invisible to the log and silently lost on recovery.
+type DurableIndex struct {
+	dir  string
+	ix   *ShardedIndex
+	wal  *wal
+	opts DurableOptions
+
+	mu     sync.Mutex // serializes mutations: wal append + index apply
+	closed bool
+
+	recordsSinceSnap atomic.Int64
+	lastSnapSeq      atomic.Uint64
+	snapshotting     atomic.Bool
+	snapMu           sync.Mutex // serializes snapshot file writes + compaction
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// DurableOptions tunes the write-ahead log, the auto-snapshot policy and
+// recovery. The zero value is a usable default: per-batch fsync, 16 MiB
+// segments, auto-snapshot every 10000 records, no interval snapshots.
+type DurableOptions struct {
+	// Fsync selects when appended records are made durable.
+	Fsync FsyncPolicy
+	// FsyncInterval is the group-commit period under
+	// FsyncIntervalPolicy (default 100ms).
+	FsyncInterval time.Duration
+	// SegmentBytes rotates the active log segment once it exceeds this
+	// size (default 16 MiB).
+	SegmentBytes int64
+	// SnapshotEvery auto-snapshots after this many log records
+	// (default 10000; negative disables).
+	SnapshotEvery int
+	// SnapshotInterval auto-snapshots on a timer when records arrived
+	// since the last snapshot (0 disables).
+	SnapshotInterval time.Duration
+	// Shards overrides the snapshot's shard count on recovery when > 0
+	// (see RestoreOptions.Shards).
+	Shards int
+	// Blocker is used on recovery when the snapshot's blocker name is
+	// not a registry strategy (see RestoreOptions.Blocker).
+	Blocker matching.Blocker
+	// Logf, when set, receives diagnostics from background snapshots
+	// and recovery fallbacks (e.g. log.Printf).
+	Logf func(format string, args ...any)
+}
+
+const defaultSnapshotEvery = 10000
+
+func (o DurableOptions) snapshotEvery() int {
+	switch {
+	case o.SnapshotEvery == 0:
+		return defaultSnapshotEvery
+	case o.SnapshotEvery < 0:
+		return 0
+	}
+	return o.SnapshotEvery
+}
+
+func (o DurableOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+func (o DurableOptions) wal() walOptions {
+	return walOptions{SegmentBytes: o.SegmentBytes, Fsync: o.Fsync, Interval: o.FsyncInterval}
+}
+
+// RecoveryStats reports what Recover (or OpenDurable) did.
+type RecoveryStats struct {
+	// Recovered is false when OpenDurable found no durable state and
+	// started fresh.
+	Recovered bool
+	// SnapshotPath and SnapshotSeq identify the snapshot recovery
+	// loaded.
+	SnapshotPath string
+	SnapshotSeq  uint64
+	// RecordsReplayed counts the log records applied after the snapshot.
+	RecordsReplayed int
+	// Torn reports that the log ended in a torn or corrupt record,
+	// which recovery discarded.
+	Torn bool
+	// Duration is the wall-clock recovery time.
+	Duration time.Duration
+}
+
+// walBatch is the JSON payload of one log record.
+type walBatch struct {
+	Upserts []*entity.Entity `json:"u,omitempty"`
+	Deletes []string         `json:"d,omitempty"`
+}
+
+// snapName returns the snapshot file name for the given covered
+// sequence number.
+func snapName(seq uint64) string {
+	return fmt.Sprintf("snapshot-%016d.snap", seq)
+}
+
+// durableSnapshot is one snapshot file found on disk.
+type durableSnapshot struct {
+	path string
+	seq  uint64
+}
+
+// listSnapshots returns dir's snapshot files in descending seq order
+// (newest first).
+func listSnapshots(dir string) ([]durableSnapshot, error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("linkindex: recover: %w", err)
+	}
+	var snaps []durableSnapshot
+	for _, de := range names {
+		var seq uint64
+		if n, err := fmt.Sscanf(de.Name(), "snapshot-%016d.snap", &seq); n == 1 && err == nil {
+			snaps = append(snaps, durableSnapshot{path: filepath.Join(dir, de.Name()), seq: seq})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].seq > snaps[j].seq })
+	return snaps, nil
+}
+
+// HasDurableState reports whether dir holds durable-index state (a
+// snapshot or log segment) that Recover could load.
+func HasDurableState(dir string) bool {
+	snaps, err := listSnapshots(dir)
+	if err == nil && len(snaps) > 0 {
+		return true
+	}
+	segs, err := listSegments(dir)
+	return err == nil && len(segs) > 0
+}
+
+// NewDurable wraps ix — freshly built or already loaded — in a durable
+// index rooted at dir. It writes a genesis snapshot of ix's current
+// state (so recovery always has a rule and a base state, even before the
+// first auto-snapshot) and opens the log. dir must not already hold
+// durable state; use Recover or OpenDurable for that.
+func NewDurable(dir string, ix *ShardedIndex, o DurableOptions) (*DurableIndex, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("linkindex: durable: %w", err)
+	}
+	if HasDurableState(dir) {
+		return nil, fmt.Errorf("linkindex: durable: %s already holds durable state; use Recover", dir)
+	}
+	if err := writeSnapshotFile(filepath.Join(dir, snapName(0)), ix.buildSnapshot()); err != nil {
+		return nil, err
+	}
+	w, err := openWAL(dir, 0, o.wal())
+	if err != nil {
+		return nil, err
+	}
+	d := &DurableIndex{dir: dir, ix: ix, wal: w, opts: o}
+	d.start()
+	return d, nil
+}
+
+// Recover rebuilds a durable index from dir: it loads the newest valid
+// snapshot (falling back to older ones if the newest is unreadable),
+// replays the log records past the snapshot's sequence number, discards
+// a torn tail cleanly, and reopens the log for appending. The recovered
+// state is exactly the state whose mutations the log acknowledged — the
+// crash-simulation and fuzz tests pin this differentially.
+func Recover(dir string, o DurableOptions) (*DurableIndex, RecoveryStats, error) {
+	t0 := time.Now()
+	var stats RecoveryStats
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return nil, stats, err
+	}
+	if len(snaps) == 0 {
+		return nil, stats, fmt.Errorf("linkindex: recover: %s holds no snapshot (the log alone carries no rule); was the directory initialized with NewDurable?", dir)
+	}
+	var ix *ShardedIndex
+	var base durableSnapshot
+	for _, s := range snaps {
+		restored, rerr := RestoreFrom(s.path, RestoreOptions{Shards: o.Shards, Blocker: o.Blocker})
+		if rerr != nil {
+			// Quarantine the unreadable snapshot (keep the bytes for
+			// forensics, but take it out of the snapshot-*.snap namespace):
+			// left in place it would occupy a retention slot in compact(),
+			// eventually evicting the last readable snapshot and anchoring
+			// segment deletion at a sequence number nothing can restore.
+			o.logf("recover: snapshot %s unreadable (%v); quarantining and falling back", s.path, rerr)
+			if qerr := os.Rename(s.path, s.path+".corrupt"); qerr != nil {
+				o.logf("recover: quarantine %s: %v", s.path, qerr)
+			}
+			continue
+		}
+		ix, base = restored, s
+		break
+	}
+	if ix == nil {
+		return nil, stats, fmt.Errorf("linkindex: recover: no readable snapshot in %s", dir)
+	}
+
+	scan, err := replayWAL(dir, base.seq, func(seq uint64, payload []byte) error {
+		var b walBatch
+		if err := json.Unmarshal(payload, &b); err != nil {
+			return err
+		}
+		ix.Apply(Batch{Upserts: b.Upserts, Deletes: b.Deletes})
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	if err := scan.discardTornTail(); err != nil {
+		return nil, stats, err
+	}
+	w, err := openWAL(dir, scan.LastSeq, o.wal())
+	if err != nil {
+		return nil, stats, err
+	}
+	d := &DurableIndex{dir: dir, ix: ix, wal: w, opts: o}
+	d.lastSnapSeq.Store(base.seq)
+	d.recordsSinceSnap.Store(int64(scan.Records))
+	d.start()
+	stats = RecoveryStats{
+		Recovered:       true,
+		SnapshotPath:    base.path,
+		SnapshotSeq:     base.seq,
+		RecordsReplayed: scan.Records,
+		Torn:            scan.Torn,
+		Duration:        time.Since(t0),
+	}
+	return d, stats, nil
+}
+
+// OpenDurable opens dir as a durable index: recovering the existing
+// state when there is any, otherwise calling build for a fresh index to
+// wrap (build is not called on the recovery path, so an expensive
+// startup — learning a rule, bulk-loading a corpus — is paid only once).
+func OpenDurable(dir string, build func() (*ShardedIndex, error), o DurableOptions) (*DurableIndex, RecoveryStats, error) {
+	if HasDurableState(dir) {
+		return Recover(dir, o)
+	}
+	ix, err := build()
+	if err != nil {
+		return nil, RecoveryStats{}, err
+	}
+	d, err := NewDurable(dir, ix, o)
+	if err != nil {
+		return nil, RecoveryStats{}, err
+	}
+	return d, RecoveryStats{}, nil
+}
+
+// start launches the interval auto-snapshotter when configured.
+func (d *DurableIndex) start() {
+	if d.opts.SnapshotInterval <= 0 {
+		return
+	}
+	d.stop = make(chan struct{})
+	d.done = make(chan struct{})
+	go func() {
+		defer close(d.done)
+		t := time.NewTicker(d.opts.SnapshotInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-d.stop:
+				return
+			case <-t.C:
+				if d.recordsSinceSnap.Load() > 0 {
+					if err := d.Snapshot(); err != nil && !errors.Is(err, errWALClosed) {
+						d.opts.logf("auto-snapshot: %v", err)
+					}
+				}
+			}
+		}
+	}()
+}
+
+// Apply logs the batch, then applies it to the index. It returns once
+// the record is durable per the fsync policy and the index reflects the
+// batch. An empty batch is a no-op and is not logged.
+func (d *DurableIndex) Apply(b Batch) (ApplyResult, error) {
+	if len(b.Upserts) == 0 && len(b.Deletes) == 0 {
+		return ApplyResult{}, nil
+	}
+	payload, err := json.Marshal(walBatch{Upserts: b.Upserts, Deletes: b.Deletes})
+	if err != nil {
+		return ApplyResult{}, fmt.Errorf("linkindex: durable: %w", err)
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ApplyResult{}, errWALClosed
+	}
+	if _, err := d.wal.Append(payload); err != nil {
+		d.mu.Unlock()
+		return ApplyResult{}, err
+	}
+	res := d.ix.Apply(b)
+	d.mu.Unlock()
+
+	if every := d.opts.snapshotEvery(); every > 0 && d.recordsSinceSnap.Add(1) >= int64(every) {
+		d.maybeSnapshotAsync()
+	} else if every <= 0 {
+		d.recordsSinceSnap.Add(1)
+	}
+	return res, nil
+}
+
+// maybeSnapshotAsync starts a background snapshot unless one is already
+// running.
+func (d *DurableIndex) maybeSnapshotAsync() {
+	if !d.snapshotting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer d.snapshotting.Store(false)
+		if err := d.Snapshot(); err != nil && !errors.Is(err, errWALClosed) {
+			d.opts.logf("auto-snapshot: %v", err)
+		}
+	}()
+}
+
+// Add logs and applies a single upsert (an existing ID is replaced).
+func (d *DurableIndex) Add(e *entity.Entity) error {
+	_, err := d.Apply(Batch{Upserts: []*entity.Entity{e}})
+	return err
+}
+
+// Update is Add: the entity with e.ID is replaced by e.
+func (d *DurableIndex) Update(e *entity.Entity) error { return d.Add(e) }
+
+// Remove logs and applies a delete. It reports whether the entity was
+// present.
+func (d *DurableIndex) Remove(id string) (bool, error) {
+	res, err := d.Apply(Batch{Deletes: []string{id}})
+	return res.Deleted > 0, err
+}
+
+// BulkLoad logs and applies every entity as one batch, returning the
+// number of distinct entities applied.
+func (d *DurableIndex) BulkLoad(entities []*entity.Entity) (int, error) {
+	res, err := d.Apply(Batch{Upserts: entities})
+	return res.Upserted, err
+}
+
+// Snapshot writes a snapshot of the current state into the log
+// directory, rotates the active segment, and compacts: log segments
+// fully covered by the snapshot are deleted, and only the two newest
+// snapshots are kept. Writers are blocked only while the state is
+// captured, not while it is serialized to disk.
+func (d *DurableIndex) Snapshot() error {
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
+	return d.snapshotLocked()
+}
+
+func (d *DurableIndex) snapshotLocked() error {
+	// Capture (seq, state) atomically with respect to mutations: under
+	// d.mu the index state is exactly the effect of records 1..seq.
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return errWALClosed
+	}
+	seq := d.wal.LastSeq()
+	snap := d.ix.buildSnapshot()
+	d.mu.Unlock()
+
+	if err := writeSnapshotFile(filepath.Join(d.dir, snapName(seq)), snap); err != nil {
+		return err
+	}
+	d.lastSnapSeq.Store(seq)
+	d.recordsSinceSnap.Store(0)
+	// Rotate so the segment holding the covered records stops growing
+	// and becomes deletable at the next snapshot.
+	if err := d.wal.RotateIfDirty(); err != nil && !errors.Is(err, errWALClosed) {
+		return err
+	}
+	return d.compact()
+}
+
+// compact prunes all but the two newest snapshots — the previous one
+// stays as the fallback should the newest turn out unreadable — then
+// deletes log segments every record of which is covered by the OLDEST
+// retained snapshot: recovery falling back to that snapshot still finds
+// the full log tail it needs. The active segment never qualifies.
+func (d *DurableIndex) compact() error {
+	snaps, err := listSnapshots(d.dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range snaps[min(2, len(snaps)):] {
+		if err := os.Remove(s.path); err != nil {
+			return fmt.Errorf("linkindex: compact: %w", err)
+		}
+	}
+	if len(snaps) == 0 {
+		return nil
+	}
+	coverSeq := snaps[min(2, len(snaps))-1].seq // oldest retained snapshot
+	segs, err := listSegments(d.dir)
+	if err != nil {
+		return err
+	}
+	for i := 0; i+1 < len(segs); i++ {
+		// Every record of segs[i] has seq < segs[i+1].firstSeq, so the
+		// segment is fully covered when that bound is ≤ coverSeq+1.
+		if segs[i+1].firstSeq <= coverSeq+1 {
+			if err := os.Remove(segs[i].path); err != nil {
+				return fmt.Errorf("linkindex: compact: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Close stops the auto-snapshotter, syncs the log tail and closes the
+// log. The index stays queryable; further mutations fail. Close does not
+// snapshot — call Snapshot first for a compact restart, or let recovery
+// replay the tail.
+func (d *DurableIndex) Close() error {
+	if d.stop != nil {
+		close(d.stop)
+		<-d.done
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.wal.Close()
+}
+
+// Index returns the underlying sharded index for reads (Query, QueryID,
+// Get, Stats, Entities). Mutating it directly bypasses the log — those
+// writes would be lost on recovery; always mutate through the
+// DurableIndex.
+func (d *DurableIndex) Index() *ShardedIndex { return d.ix }
+
+// Query delegates to the underlying index.
+func (d *DurableIndex) Query(probe *entity.Entity, k int) []matching.Link {
+	return d.ix.Query(probe, k)
+}
+
+// QueryID delegates to the underlying index.
+func (d *DurableIndex) QueryID(id string, k int) ([]matching.Link, bool) {
+	return d.ix.QueryID(id, k)
+}
+
+// Get delegates to the underlying index.
+func (d *DurableIndex) Get(id string) *entity.Entity { return d.ix.Get(id) }
+
+// Len delegates to the underlying index.
+func (d *DurableIndex) Len() int { return d.ix.Len() }
+
+// Stats delegates to the underlying index.
+func (d *DurableIndex) Stats() Stats { return d.ix.Stats() }
+
+// Dir returns the durable directory (log segments + snapshots).
+func (d *DurableIndex) Dir() string { return d.dir }
+
+// DurableMetrics is a point-in-time summary of the durability subsystem.
+type DurableMetrics struct {
+	// WALRecords is the sequence number of the last logged record — the
+	// total number of records ever appended.
+	WALRecords uint64
+	// WALSegments counts the log segment files, including the active one.
+	WALSegments int
+	// SnapshotSeq is the sequence number the newest snapshot covers.
+	SnapshotSeq uint64
+	// RecordsSinceSnapshot counts log records not yet covered by a
+	// snapshot (what recovery would replay right now).
+	RecordsSinceSnapshot int64
+}
+
+// Metrics returns the current durability counters.
+func (d *DurableIndex) Metrics() DurableMetrics {
+	return DurableMetrics{
+		WALRecords:           d.wal.LastSeq(),
+		WALSegments:          d.wal.Segments(),
+		SnapshotSeq:          d.lastSnapSeq.Load(),
+		RecordsSinceSnapshot: d.recordsSinceSnap.Load(),
+	}
+}

@@ -42,7 +42,17 @@ type snapshotFile struct {
 // Each shard is read under its lock; see the isolation notes on
 // ShardedIndex for cross-shard semantics under concurrent writes.
 func (ix *ShardedIndex) WriteSnapshot(w io.Writer) error {
-	snap := snapshotFile{
+	snap := ix.buildSnapshot()
+	enc := json.NewEncoder(w)
+	return enc.Encode(snap)
+}
+
+// buildSnapshot captures the snapshot state: the corpus (entity pointers
+// — immutable once stored, so the capture stays consistent while it is
+// serialized later), the rule and the options. Each shard is read under
+// its lock.
+func (ix *ShardedIndex) buildSnapshot() *snapshotFile {
+	return &snapshotFile{
 		Version:      SnapshotVersion,
 		Created:      time.Now().UTC().Format(time.RFC3339),
 		Shards:       len(ix.shards),
@@ -52,21 +62,25 @@ func (ix *ShardedIndex) WriteSnapshot(w io.Writer) error {
 		Rule:         ix.rule,
 		Entities:     ix.Entities(),
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(&snap)
 }
 
 // SnapshotTo writes a snapshot to path atomically: the snapshot is
 // written to a temporary file in the same directory and renamed into
 // place, so a crash mid-write never truncates the previous snapshot.
 func (ix *ShardedIndex) SnapshotTo(path string) error {
+	return writeSnapshotFile(path, ix.buildSnapshot())
+}
+
+// writeSnapshotFile writes a captured snapshot to path atomically
+// (temp file + fsync + rename + directory fsync).
+func writeSnapshotFile(path string, snap *snapshotFile) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("linkindex: snapshot: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := ix.WriteSnapshot(tmp); err != nil {
+	if err := json.NewEncoder(tmp).Encode(snap); err != nil {
 		tmp.Close()
 		return fmt.Errorf("linkindex: snapshot: %w", err)
 	}
@@ -87,12 +101,7 @@ func (ix *ShardedIndex) SnapshotTo(path string) error {
 	// Make the rename itself durable: without a directory fsync the new
 	// directory entry may not survive a power cut even though the file
 	// data would.
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("linkindex: snapshot: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+	if err := syncDir(dir); err != nil {
 		return fmt.Errorf("linkindex: snapshot: %w", err)
 	}
 	return nil

@@ -1,0 +1,557 @@
+package linkindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file implements the write-ahead log under DurableIndex: an
+// append-only sequence of length-prefixed, CRC-checked records split
+// across segment files. Every record is one applied Batch; recovery
+// replays the records past the newest snapshot's sequence number, and
+// compaction deletes segments the snapshot fully covers.
+//
+// On-disk layout of one segment (wal-%016d.seg, named by the sequence
+// number of its first record):
+//
+//	8 bytes   magic "glnkwal1"
+//	records:
+//	  4 bytes  payload length (little endian)
+//	  4 bytes  CRC-32C (Castagnoli) over seq bytes + payload
+//	  8 bytes  record sequence number (little endian)
+//	  n bytes  payload (JSON-encoded batch)
+//
+// A reader stops cleanly at the first record whose header, CRC or
+// sequence number does not check out — a crash mid-append leaves exactly
+// such a torn tail, and everything before it is intact by construction
+// (records are written strictly append-only).
+
+// FsyncPolicy selects when the WAL makes appended records durable.
+type FsyncPolicy int
+
+const (
+	// FsyncBatch fsyncs before acknowledging every append: an
+	// acknowledged batch survives power loss. The default, and the
+	// slowest.
+	FsyncBatch FsyncPolicy = iota
+	// FsyncIntervalPolicy group-commits: appends return after the
+	// buffered write, and a background flusher fsyncs every Interval.
+	// A crash can lose up to one interval of acknowledged batches.
+	FsyncIntervalPolicy
+	// FsyncOff never fsyncs explicitly; the OS page cache decides.
+	// A process crash (the file is already in the page cache) loses at
+	// most the buffered tail; a power cut can lose everything since the
+	// last snapshot.
+	FsyncOff
+)
+
+// String returns the flag-friendly name of the policy.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncBatch:
+		return "batch"
+	case FsyncIntervalPolicy:
+		return "interval"
+	case FsyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// FsyncPolicyByName resolves a flag value ("batch", "interval", "off")
+// to its policy. It reports false for unknown names.
+func FsyncPolicyByName(name string) (FsyncPolicy, bool) {
+	switch name {
+	case "batch":
+		return FsyncBatch, true
+	case "interval":
+		return FsyncIntervalPolicy, true
+	case "off":
+		return FsyncOff, true
+	}
+	return 0, false
+}
+
+const (
+	walMagic     = "glnkwal1"
+	walHeaderLen = 16 // u32 length + u32 crc + u64 seq
+	// maxWALRecordLen rejects absurd lengths decoded from a corrupt
+	// header before they turn into a giant allocation.
+	maxWALRecordLen = 1 << 30
+
+	defaultSegmentBytes  = 16 << 20
+	defaultFsyncInterval = 100 * time.Millisecond
+)
+
+var (
+	crcTable     = crc32.MakeTable(crc32.Castagnoli)
+	errWALClosed = errors.New("linkindex: wal is closed")
+)
+
+// walOptions tunes the log; zero values take the defaults above.
+type walOptions struct {
+	SegmentBytes int64
+	Fsync        FsyncPolicy
+	Interval     time.Duration
+}
+
+func (o walOptions) withDefaults() walOptions {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = defaultSegmentBytes
+	}
+	if o.Interval <= 0 {
+		o.Interval = defaultFsyncInterval
+	}
+	return o
+}
+
+// wal is the append side of the log. All methods are safe for concurrent
+// use; appends are serialized by one mutex (DurableIndex serializes its
+// mutations anyway, so the log order always matches the apply order).
+type wal struct {
+	dir  string
+	opts walOptions
+
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	size    int64 // bytes written to the active segment
+	seq     uint64
+	closed  bool
+	syncErr error // first background fsync failure; poisons the log
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// segName returns the file name of the segment whose first record is
+// firstSeq.
+func segName(firstSeq uint64) string {
+	return fmt.Sprintf("wal-%016d.seg", firstSeq)
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry in
+// it survives a power cut — file data reaching disk does not imply the
+// direntry did.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// openWAL opens the log for appending after lastSeq, starting a fresh
+// active segment. Recovery has already truncated any torn tail and
+// removed unreplayable segments, so an existing file with the new
+// segment's name holds nothing worth keeping and is truncated.
+func openWAL(dir string, lastSeq uint64, opts walOptions) (*wal, error) {
+	w := &wal{dir: dir, opts: opts.withDefaults(), seq: lastSeq}
+	if err := w.openSegment(lastSeq + 1); err != nil {
+		return nil, err
+	}
+	if w.opts.Fsync == FsyncIntervalPolicy {
+		w.stop = make(chan struct{})
+		w.done = make(chan struct{})
+		go w.flushLoop()
+	}
+	return w, nil
+}
+
+// openSegment starts the active segment for records from firstSeq on.
+// Callers hold mu (or have exclusive access during open).
+func (w *wal) openSegment(firstSeq uint64) error {
+	path := filepath.Join(w.dir, segName(firstSeq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("linkindex: wal: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if _, err := bw.WriteString(walMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("linkindex: wal: %w", err)
+	}
+	// Make the segment's direntry durable: under FsyncBatch every record
+	// fsync would otherwise be futile if a power cut erased the file
+	// itself. Rotation is rare, so one dir fsync per segment is cheap.
+	if w.opts.Fsync != FsyncOff {
+		if err := syncDir(w.dir); err != nil {
+			f.Close()
+			return fmt.Errorf("linkindex: wal: %w", err)
+		}
+	}
+	w.f, w.w, w.size = f, bw, int64(len(walMagic))
+	return nil
+}
+
+// flushLoop is the FsyncIntervalPolicy group-committer.
+func (w *wal) flushLoop() {
+	defer close(w.done)
+	t := time.NewTicker(w.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if !w.closed && w.syncErr == nil {
+				if err := w.flushLocked(true); err != nil {
+					w.syncErr = err
+				}
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// Append assigns the next sequence number to payload and writes the
+// record, making it durable per the fsync policy. It returns the
+// assigned sequence number.
+func (w *wal) Append(payload []byte) (uint64, error) {
+	if len(payload) > maxWALRecordLen {
+		return 0, fmt.Errorf("linkindex: wal: record of %d bytes exceeds the %d-byte limit", len(payload), maxWALRecordLen)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, errWALClosed
+	}
+	if w.syncErr != nil {
+		return 0, w.syncErr
+	}
+	seq := w.seq + 1
+	var hdr [walHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	crc := crc32.Update(0, crcTable, hdr[8:16])
+	crc = crc32.Update(crc, crcTable, payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("linkindex: wal: %w", err)
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return 0, fmt.Errorf("linkindex: wal: %w", err)
+	}
+	w.seq = seq
+	w.size += int64(walHeaderLen + len(payload))
+	switch w.opts.Fsync {
+	case FsyncBatch:
+		if err := w.flushLocked(true); err != nil {
+			return 0, err
+		}
+	case FsyncIntervalPolicy:
+		// The durability contract says acknowledged records reach the OS
+		// immediately (only the disk fsync is deferred to the group
+		// commit): flush the user-space buffer now, so a process crash —
+		// as opposed to a power cut — loses nothing acknowledged.
+		if err := w.flushLocked(false); err != nil {
+			return 0, err
+		}
+	}
+	if w.size >= w.opts.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// flushLocked drains the buffer to the file, fsyncing when sync is set.
+func (w *wal) flushLocked(sync bool) error {
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("linkindex: wal: %w", err)
+	}
+	if sync && w.opts.Fsync != FsyncOff {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("linkindex: wal: %w", err)
+		}
+	}
+	return nil
+}
+
+// rotateLocked finishes the active segment and starts the next one.
+func (w *wal) rotateLocked() error {
+	if err := w.flushLocked(true); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("linkindex: wal: %w", err)
+	}
+	return w.openSegment(w.seq + 1)
+}
+
+// RotateIfDirty starts a fresh segment when the active one holds any
+// records, so a snapshot taken now fully covers every older segment and
+// compaction can delete them.
+func (w *wal) RotateIfDirty() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errWALClosed
+	}
+	if w.size <= int64(len(walMagic)) {
+		return nil
+	}
+	return w.rotateLocked()
+}
+
+// Sync flushes and fsyncs the active segment regardless of policy.
+func (w *wal) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errWALClosed
+	}
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("linkindex: wal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("linkindex: wal: %w", err)
+	}
+	return nil
+}
+
+// LastSeq returns the sequence number of the last appended record (0 for
+// an empty log).
+func (w *wal) LastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// Segments returns the number of segment files on disk, including the
+// active one. It lists the directory rather than tracking a counter so
+// compaction and recovery cleanups can never leave the count stale.
+func (w *wal) Segments() int {
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return 0
+	}
+	return len(segs)
+}
+
+// Close stops the background flusher, flushes the buffered tail and
+// closes the active segment. Close always attempts a final fsync so a
+// clean shutdown is durable even under FsyncOff.
+func (w *wal) Close() error {
+	if w.stop != nil {
+		close(w.stop)
+		<-w.done
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	err := w.w.Flush()
+	if serr := w.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("linkindex: wal: %w", err)
+	}
+	return nil
+}
+
+// walSegment is one segment file found on disk.
+type walSegment struct {
+	path     string
+	firstSeq uint64
+}
+
+// listSegments returns the segment files of dir in ascending first-seq
+// order. Files that do not parse as segment names are ignored.
+func listSegments(dir string) ([]walSegment, error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("linkindex: wal: %w", err)
+	}
+	var segs []walSegment
+	for _, de := range names {
+		var first uint64
+		if n, err := fmt.Sscanf(de.Name(), "wal-%016d.seg", &first); n == 1 && err == nil {
+			segs = append(segs, walSegment{path: filepath.Join(dir, de.Name()), firstSeq: first})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstSeq < segs[j].firstSeq })
+	return segs, nil
+}
+
+// walScan reports what replayWAL found.
+type walScan struct {
+	// LastSeq is the sequence number of the last record handed to fn
+	// (fromSeq when nothing was replayed).
+	LastSeq uint64
+	// Records counts the records handed to fn.
+	Records int
+	// Segments counts the segment files present (replayed or not).
+	Segments int
+	// Torn reports that the scan stopped at a corrupt or truncated
+	// record instead of the end of the log.
+	Torn bool
+	// tornPath/tornOffset locate the torn tail: the segment holding it
+	// and the byte offset of its last valid record end. later holds the
+	// paths of segments after the torn one, whose records are
+	// unreplayable (their ordering can no longer be trusted).
+	tornPath   string
+	tornOffset int64
+	later      []string
+}
+
+// replayWAL streams every record with sequence number > fromSeq to fn,
+// in order. It stops cleanly — never panics, never errors — at the first
+// torn or corrupt record: a truncated header or payload, a CRC mismatch,
+// a non-contiguous sequence number, or an fn error (an undecodable
+// payload), reporting the stop through walScan.Torn. Real I/O errors
+// (an unreadable directory) are returned as err.
+func replayWAL(dir string, fromSeq uint64, fn func(seq uint64, payload []byte) error) (walScan, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return walScan{}, err
+	}
+	scan := walScan{LastSeq: fromSeq, Segments: len(segs)}
+	for i, seg := range segs {
+		// A segment is fully covered by fromSeq when the next segment
+		// starts at or below fromSeq+1; skip reading it entirely.
+		if i+1 < len(segs) && segs[i+1].firstSeq <= fromSeq+1 {
+			continue
+		}
+		// A segment starting past the next expected sequence number means
+		// a segment in between is missing (a partial directory copy, a
+		// manual deletion): the records from here on cannot be trusted to
+		// follow the log order. Stop cleanly, discarding them.
+		if seg.firstSeq > scan.LastSeq+1 {
+			scan.Torn = true
+			scan.tornPath = seg.path
+			scan.tornOffset = 0
+			for _, later := range segs[i+1:] {
+				scan.later = append(scan.later, later.path)
+			}
+			return scan, nil
+		}
+		stop, err := replaySegment(seg, fromSeq, &scan, fn)
+		if err != nil {
+			return scan, err
+		}
+		if stop {
+			for _, later := range segs[i+1:] {
+				scan.later = append(scan.later, later.path)
+			}
+			return scan, nil
+		}
+	}
+	return scan, nil
+}
+
+// replaySegment replays one segment into fn, updating scan. It reports
+// stop=true when the scan must not continue into later segments (a torn
+// or corrupt record was found).
+func replaySegment(seg walSegment, fromSeq uint64, scan *walScan, fn func(seq uint64, payload []byte) error) (bool, error) {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return false, fmt.Errorf("linkindex: wal: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+
+	torn := func(validEnd int64) {
+		scan.Torn = true
+		scan.tornPath = seg.path
+		scan.tornOffset = validEnd
+	}
+
+	magic := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != walMagic {
+		// Not a segment this build can read (torn creation or foreign
+		// bytes): treat the whole file as a torn tail.
+		torn(0)
+		return true, nil
+	}
+	offset := int64(len(walMagic))
+	expect := seg.firstSeq
+	var hdr [walHeaderLen]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return false, nil // clean end of segment
+			}
+			torn(offset) // truncated header
+			return true, nil
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+		seq := binary.LittleEndian.Uint64(hdr[8:16])
+		if length > maxWALRecordLen || seq != expect {
+			torn(offset)
+			return true, nil
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			torn(offset) // truncated payload
+			return true, nil
+		}
+		crc := crc32.Update(0, crcTable, hdr[8:16])
+		crc = crc32.Update(crc, crcTable, payload)
+		if crc != wantCRC {
+			torn(offset)
+			return true, nil
+		}
+		if seq > fromSeq {
+			if err := fn(seq, payload); err != nil {
+				// CRC-valid but undecodable: a format drift, not a torn
+				// write — still stop cleanly rather than guess.
+				torn(offset)
+				return true, nil
+			}
+			scan.LastSeq = seq
+			scan.Records++
+		}
+		offset += int64(walHeaderLen) + int64(length)
+		expect = seq + 1
+	}
+}
+
+// discardTornTail removes the unreplayable bytes a torn scan found: the
+// torn segment is truncated to its last valid record and every later
+// segment is deleted, so the next recovery sees a clean log end and new
+// appends cannot interleave with garbage.
+func (s walScan) discardTornTail() error {
+	if !s.Torn {
+		return nil
+	}
+	if s.tornOffset == 0 {
+		// Nothing in the file checked out (not even the magic): remove it
+		// rather than leave a zero-byte segment that would read as torn
+		// forever.
+		if err := os.Remove(s.tornPath); err != nil {
+			return fmt.Errorf("linkindex: wal: %w", err)
+		}
+	} else if err := os.Truncate(s.tornPath, s.tornOffset); err != nil {
+		return fmt.Errorf("linkindex: wal: %w", err)
+	}
+	for _, path := range s.later {
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("linkindex: wal: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,340 @@
+package linkindex
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// collectReplay replays dir from fromSeq and returns the payloads in
+// order plus the scan summary.
+func collectReplay(t testing.TB, dir string, fromSeq uint64) ([][]byte, walScan) {
+	t.Helper()
+	var payloads [][]byte
+	scan, err := replayWAL(dir, fromSeq, func(seq uint64, payload []byte) error {
+		payloads = append(payloads, append([]byte(nil), payload...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replayWAL: %v", err)
+	}
+	return payloads, scan
+}
+
+func appendAll(t testing.TB, w *wal, payloads [][]byte) {
+	t.Helper()
+	for i, p := range payloads {
+		seq, err := w.Append(p)
+		if err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("Append(%d) assigned seq %d, want %d", i, seq, i+1)
+		}
+	}
+}
+
+func testPayloads(n int) [][]byte {
+	payloads := make([][]byte, n)
+	for i := range payloads {
+		payloads[i] = fmt.Appendf(nil, `{"u":[{"id":"e%d"}]}`, i)
+	}
+	return payloads
+}
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(dir, 0, walOptions{Fsync: FsyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := testPayloads(10)
+	appendAll(t, w, payloads)
+	if got := w.LastSeq(); got != 10 {
+		t.Fatalf("LastSeq = %d, want 10", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, scan := collectReplay(t, dir, 0)
+	if scan.Torn {
+		t.Fatalf("clean log scanned as torn: %+v", scan)
+	}
+	if scan.Records != 10 || scan.LastSeq != 10 {
+		t.Fatalf("scan = %+v, want 10 records through seq 10", scan)
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], payloads[i])
+		}
+	}
+
+	// Replaying from a mid-log sequence number skips the covered prefix.
+	got, scan = collectReplay(t, dir, 7)
+	if scan.Records != 3 || !bytes.Equal(got[0], payloads[7]) {
+		t.Fatalf("replay from 7 = %d records starting %q, want 3 starting %q", scan.Records, got[0], payloads[7])
+	}
+}
+
+func TestWALRotationSpansSegments(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every record rotates.
+	w, err := openWAL(dir, 0, walOptions{Fsync: FsyncBatch, SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := testPayloads(5)
+	appendAll(t, w, payloads)
+	if segs := w.Segments(); segs < 5 {
+		t.Fatalf("Segments = %d, want at least one per record", segs)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, scan := collectReplay(t, dir, 0)
+	if scan.Torn || scan.Records != 5 {
+		t.Fatalf("multi-segment scan = %+v, want 5 clean records", scan)
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], payloads[i])
+		}
+	}
+}
+
+// TestWALTornTail pins the crash contract: a log whose final record is
+// truncated replays every record before it, reports Torn, and
+// discardTornTail makes the next scan clean.
+func TestWALTornTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(dir, 0, walOptions{Fsync: FsyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := testPayloads(6)
+	appendAll(t, w, payloads)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("listSegments = %v, %v", segs, err)
+	}
+	info, err := os.Stat(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[0].path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	got, scan := collectReplay(t, dir, 0)
+	if !scan.Torn {
+		t.Fatal("truncated log not reported as torn")
+	}
+	if scan.Records != 5 || len(got) != 5 {
+		t.Fatalf("torn scan replayed %d records, want 5", scan.Records)
+	}
+	if err := scan.discardTornTail(); err != nil {
+		t.Fatal(err)
+	}
+	_, scan = collectReplay(t, dir, 0)
+	if scan.Torn || scan.Records != 5 {
+		t.Fatalf("post-discard scan = %+v, want 5 clean records", scan)
+	}
+}
+
+// TestWALCorruptRecordStopsReplay flips one byte in a mid-log record:
+// replay must stop before it — a prefix, never a panic, never garbage.
+func TestWALCorruptRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(dir, 0, walOptions{Fsync: FsyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := testPayloads(6)
+	appendAll(t, w, payloads)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	data, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte roughly in the middle of the file (inside record 3-ish).
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(segs[0].path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, scan := collectReplay(t, dir, 0)
+	if !scan.Torn {
+		t.Fatal("corrupt record not reported as torn")
+	}
+	if scan.Records >= 6 {
+		t.Fatalf("replayed %d records through a corrupt byte", scan.Records)
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Fatalf("replayed record %d = %q, not a prefix of the original log", i, got[i])
+		}
+	}
+}
+
+// TestWALSegmentGapStopsReplay removes a mid-log segment: the records
+// after the gap cannot be trusted to follow log order, so replay stops.
+func TestWALSegmentGapStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(dir, 0, walOptions{Fsync: FsyncBatch, SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, testPayloads(5))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	if len(segs) < 4 {
+		t.Fatalf("want ≥4 segments, got %d", len(segs))
+	}
+	if err := os.Remove(segs[2].path); err != nil {
+		t.Fatal(err)
+	}
+	_, scan := collectReplay(t, dir, 0)
+	if !scan.Torn {
+		t.Fatal("segment gap not reported as torn")
+	}
+	if scan.Records != 2 {
+		t.Fatalf("replayed %d records across a segment gap, want the 2 before it", scan.Records)
+	}
+	if err := scan.discardTornTail(); err != nil {
+		t.Fatal(err)
+	}
+	_, scan = collectReplay(t, dir, 0)
+	if scan.Torn || scan.Records != 2 {
+		t.Fatalf("post-discard scan = %+v, want 2 clean records", scan)
+	}
+}
+
+// TestWALFsyncPolicies exercises the interval group-commit and the
+// no-fsync policies end to end: every acknowledged record must be
+// replayable after a clean Close under any policy.
+func TestWALFsyncPolicies(t *testing.T) {
+	for _, p := range []FsyncPolicy{FsyncBatch, FsyncIntervalPolicy, FsyncOff} {
+		t.Run(p.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			w, err := openWAL(dir, 0, walOptions{Fsync: p, Interval: time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			appendAll(t, w, testPayloads(20))
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			_, scan := collectReplay(t, dir, 0)
+			if scan.Torn || scan.Records != 20 {
+				t.Fatalf("%s: scan = %+v, want 20 clean records", p, scan)
+			}
+		})
+	}
+}
+
+func TestFsyncPolicyByName(t *testing.T) {
+	for _, p := range []FsyncPolicy{FsyncBatch, FsyncIntervalPolicy, FsyncOff} {
+		got, ok := FsyncPolicyByName(p.String())
+		if !ok || got != p {
+			t.Fatalf("FsyncPolicyByName(%q) = %v, %v", p.String(), got, ok)
+		}
+	}
+	if _, ok := FsyncPolicyByName("always"); ok {
+		t.Fatal("FsyncPolicyByName accepted an unknown name")
+	}
+}
+
+// FuzzWALReplay mutates and truncates a valid log: replay must never
+// panic, and — because CRC-32C catches every single-byte flip — the
+// replayed records must always be a byte-exact prefix of the original
+// ones. With no mutation (xor 0, no truncation) the full log replays.
+func FuzzWALReplay(f *testing.F) {
+	// Build the baseline log once.
+	base := f.TempDir()
+	w, err := openWAL(base, 0, walOptions{Fsync: FsyncOff})
+	if err != nil {
+		f.Fatal(err)
+	}
+	payloads := testPayloads(8)
+	for _, p := range payloads {
+		if _, err := w.Append(p); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	segs, err := listSegments(base)
+	if err != nil || len(segs) != 1 {
+		f.Fatalf("baseline segments = %v, %v", segs, err)
+	}
+	valid, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	segFile := filepath.Base(segs[0].path)
+
+	f.Add(uint32(0), byte(0), uint32(len(valid)))     // untouched
+	f.Add(uint32(9), byte(0x40), uint32(len(valid)))  // flip in first header
+	f.Add(uint32(40), byte(0x01), uint32(len(valid))) // flip in a payload
+	f.Add(uint32(0), byte(0xff), uint32(len(valid)))  // flip in the magic
+	f.Add(uint32(0), byte(0), uint32(len(valid)-2))   // torn final record
+	f.Add(uint32(0), byte(0), uint32(3))              // torn magic
+	f.Fuzz(func(t *testing.T, mutPos uint32, mutXor byte, truncTo uint32) {
+		data := append([]byte(nil), valid...)
+		if n := int(truncTo); n < len(data) {
+			data = data[:n]
+		}
+		if len(data) > 0 {
+			data[int(mutPos)%len(data)] ^= mutXor
+		}
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segFile), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		var got [][]byte
+		scan, err := replayWAL(dir, 0, func(seq uint64, payload []byte) error {
+			got = append(got, append([]byte(nil), payload...))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("replayWAL errored on mutated input: %v", err)
+		}
+		if len(got) > len(payloads) {
+			t.Fatalf("replayed %d records from a log of %d", len(got), len(payloads))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], payloads[i]) {
+				t.Fatalf("record %d = %q, want prefix record %q", i, got[i], payloads[i])
+			}
+		}
+		if mutXor == 0 && int(truncTo) >= len(valid) && (scan.Torn || len(got) != len(payloads)) {
+			t.Fatalf("untouched log replayed %d/%d records (torn=%v)", len(got), len(payloads), scan.Torn)
+		}
+		// discarding the torn tail must always leave a cleanly replayable log
+		if err := scan.discardTornTail(); err != nil {
+			t.Fatalf("discardTornTail: %v", err)
+		}
+		rescan, err := replayWAL(dir, 0, func(uint64, []byte) error { return nil })
+		if err != nil || rescan.Torn {
+			t.Fatalf("post-discard scan = %+v, %v; want clean", rescan, err)
+		}
+		if rescan.Records != len(got) {
+			t.Fatalf("post-discard scan replayed %d records, want %d", rescan.Records, len(got))
+		}
+	})
+}

@@ -134,6 +134,31 @@ type (
 	// IndexRestoreOptions tunes RestoreIndex (shard-count override, the
 	// blocker to use when the snapshot's strategy is not a registry name).
 	IndexRestoreOptions = linkindex.RestoreOptions
+	// DurableIndex wraps an Index with a segmented write-ahead log and
+	// auto-snapshot compaction: every mutation is logged before it is
+	// applied, and recovery replays snapshot + log tail after a crash.
+	DurableIndex = linkindex.DurableIndex
+	// DurableIndexOptions tunes the log (fsync policy, segment size), the
+	// auto-snapshot policy and recovery.
+	DurableIndexOptions = linkindex.DurableOptions
+	// DurableIndexMetrics is a point-in-time summary of the durability
+	// subsystem (log records/segments, snapshot coverage).
+	DurableIndexMetrics = linkindex.DurableMetrics
+	// RecoveryStats reports what OpenDurableIndex recovery did (snapshot
+	// loaded, records replayed, torn tail, duration).
+	RecoveryStats = linkindex.RecoveryStats
+	// FsyncPolicy selects when the write-ahead log makes acknowledged
+	// writes durable: FsyncBatch, FsyncInterval or FsyncOff.
+	FsyncPolicy = linkindex.FsyncPolicy
+)
+
+// Write-ahead-log fsync policies, in decreasing durability order: fsync
+// before acknowledging every batch; group-commit on a background
+// interval; no explicit fsync (the OS page cache decides).
+const (
+	FsyncBatch    = linkindex.FsyncBatch
+	FsyncInterval = linkindex.FsyncIntervalPolicy
+	FsyncOff      = linkindex.FsyncOff
 )
 
 // NewEntity returns an entity with the given id.
@@ -259,6 +284,25 @@ func NewShardedIndex(r *Rule, shards int, opts MatchOptions) *Index {
 // restored index answer exactly like the snapshotted one.
 func RestoreIndex(path string, o IndexRestoreOptions) (*Index, error) {
 	return linkindex.RestoreFrom(path, o)
+}
+
+// OpenDurableIndex opens dir as a crash-safe index. When dir already
+// holds durable state (snapshots, log segments) the state is recovered —
+// newest valid snapshot plus log-tail replay, tolerating a torn final
+// record — and build is not called. Otherwise build supplies the fresh
+// index to wrap (so an expensive startup, like learning a rule, is paid
+// only on first boot). Every mutation through the returned DurableIndex
+// is write-ahead logged before it is applied; see FsyncBatch /
+// FsyncInterval / FsyncOff for the durability trade-offs and
+// DurableIndexOptions for the auto-snapshot + compaction policy.
+func OpenDurableIndex(dir string, build func() (*Index, error), o DurableIndexOptions) (*DurableIndex, RecoveryStats, error) {
+	return linkindex.OpenDurable(dir, build, o)
+}
+
+// FsyncPolicyByName resolves a flag value ("batch", "interval", "off")
+// to its FsyncPolicy. It reports false for unknown names.
+func FsyncPolicyByName(name string) (FsyncPolicy, bool) {
+	return linkindex.FsyncPolicyByName(name)
 }
 
 // TokenBlocking returns the default blocking strategy: candidates share a
