@@ -21,10 +21,15 @@
 //     through the write-ahead logged Apply path, and recovery time
 //     (snapshot load + log replay) as a function of log length → the
 //     "durability" section of BENCH_linkindex.json
+//   - stream: the streamed query path (Options.Stream: lazy candidate
+//     enumeration, prefilter pushdown, early-exit top-k) against the
+//     materializing default on twin indexes — p50/p99 latency and
+//     allocs/query per mode → the "stream" section of
+//     BENCH_linkindex.json
 //
-// BENCH_linkindex.json holds one JSON object with an "index", a "shard"
-// and a "durability" section; each workload rewrites its own section and
-// preserves the others.
+// BENCH_linkindex.json holds one JSON object with an "index", a "shard",
+// a "durability" and a "stream" section; each workload rewrites its own
+// section and preserves the others.
 //
 // Usage:
 //
@@ -103,6 +108,7 @@ func main() {
 		mixBatch   = flag.Int("mixbatch", 512, "entities per Apply batch in the shard workload's mixed load")
 		mixQRate   = flag.Float64("mixqrate", 400, "offered query rate (queries/sec) across all readers in the shard workload")
 		durBatch   = flag.Int("durbatch", 128, "entities per Apply batch in the durability workload")
+		streamK    = flag.Int("streamk", 10, "top-k per query in the stream workload")
 		seed       = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -144,8 +150,13 @@ func main() {
 			*out = "BENCH_linkindex.json"
 		}
 		runDurabilityWorkload(ds, *out, *blocker, *durBatch)
+	case "stream":
+		if *out == "" {
+			*out = "BENCH_linkindex.json"
+		}
+		runStreamWorkload(ds, *out, *probes, *streamK, *blocker, *seed)
 	default:
-		log.Fatalf("unknown workload %q (available: engine, index, shard, durability)", *workload)
+		log.Fatalf("unknown workload %q (available: engine, index, shard, durability, stream)", *workload)
 	}
 }
 
@@ -408,7 +419,7 @@ func writeLinkIndexSection(out, section string, v any) {
 	if data, err := os.ReadFile(out); err == nil {
 		var existing map[string]json.RawMessage
 		if json.Unmarshal(data, &existing) == nil {
-			for _, key := range []string{"index", "shard", "durability"} {
+			for _, key := range []string{"index", "shard", "durability", "stream"} {
 				if raw, ok := existing[key]; ok {
 					sections[key] = raw
 				}

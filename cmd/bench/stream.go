@@ -1,0 +1,131 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"genlink/internal/entity"
+	"genlink/internal/linkindex"
+	"genlink/internal/matching"
+)
+
+// QueryModeStats are one execution mode's measurements in the stream
+// workload: the top-k Query latency distribution plus its allocation
+// profile.
+type QueryModeStats struct {
+	P50Ns          float64 `json:"query_p50_ns"`
+	P99Ns          float64 `json:"query_p99_ns"`
+	MeanNs         float64 `json:"query_mean_ns"`
+	PerSec         float64 `json:"query_per_sec"`
+	AllocsPerQuery float64 `json:"allocs_per_query"`
+	BytesPerQuery  float64 `json:"bytes_per_query"`
+}
+
+// StreamReport is the "stream" section of BENCH_linkindex.json: twin
+// indexes over the identical corpus and rule, one materializing
+// candidate slices per query (the default path), one streaming them with
+// prefilter pushdown and early-exit top-k (Options.Stream).
+type StreamReport struct {
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	Dataset   string `json:"dataset"`
+	Blocker   string `json:"blocker"`
+	Entities  int    `json:"entities"`
+	Probes    int    `json:"probes"`
+	K         int    `json:"k"`
+
+	Materialized QueryModeStats `json:"materialized"`
+	Streamed     QueryModeStats `json:"streamed"`
+
+	// StreamEarlyExits counts streamed enumerations the early-exit logic
+	// terminated before exhaustion across the measurement runs.
+	StreamEarlyExits int64 `json:"stream_early_exits"`
+	// AllocRatio is streamed allocs/query over materialized allocs/query
+	// (the acceptance gate: ≤ 0.5 on the default corpus).
+	AllocRatio float64 `json:"streamed_alloc_ratio"`
+	// P99Ratio is streamed p99 over materialized p99.
+	P99Ratio float64 `json:"streamed_p99_ratio"`
+}
+
+// runStreamWorkload measures the streamed query path against the
+// materializing one on the same corpus, probes and rule: latency
+// distribution (p50/p99) and allocations per query for each mode.
+func runStreamWorkload(ds *entity.Dataset, out string, probes, k int, blockerName string, seed int64) {
+	bl := matching.BlockerByName(blockerName)
+	if bl == nil {
+		log.Fatalf("unknown blocker %q (available: %v)", blockerName, matching.BlockerNames())
+	}
+	if probes <= 0 {
+		log.Fatalf("-probes must be positive, got %d", probes)
+	}
+	r := probeRule(ds)
+	corpus := ds.B.Entities
+	rng := rand.New(rand.NewSource(seed))
+	probeSet := make([]*entity.Entity, 0, probes)
+	for i := 0; i < probes; i++ {
+		probeSet = append(probeSet, ds.A.Entities[rng.Intn(len(ds.A.Entities))])
+	}
+
+	report := &StreamReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Dataset:   ds.Name,
+		Blocker:   bl.Name(),
+		Entities:  len(corpus),
+		Probes:    len(probeSet),
+		K:         k,
+	}
+
+	measure := func(label string, stream bool) (QueryModeStats, *linkindex.ShardedIndex) {
+		ix := linkindex.New(r, matching.Options{Blocker: bl, Stream: stream})
+		ix.BulkLoad(corpus)
+		// Warm pass: the scorer's per-entity caches for the corpus are a
+		// steady-state cost, not a per-query one.
+		for _, p := range probeSet {
+			ix.Query(p, k)
+		}
+		var st QueryModeStats
+		durs := make([]float64, len(probeSet))
+		var total float64
+		for i, p := range probeSet {
+			t0 := time.Now()
+			ix.Query(p, k)
+			durs[i] = float64(time.Since(t0).Nanoseconds())
+			total += durs[i]
+		}
+		sort.Float64s(durs)
+		st.P50Ns = quantile(durs, 0.50)
+		st.P99Ns = quantile(durs, 0.99)
+		st.MeanNs = total / float64(len(durs))
+		st.PerSec = 1e9 / st.MeanNs
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ix.Query(probeSet[i%len(probeSet)], k)
+			}
+		})
+		st.AllocsPerQuery = float64(br.AllocsPerOp())
+		st.BytesPerQuery = float64(br.AllocedBytesPerOp())
+		fmt.Printf("%-28s %12.0f ns p50 %12.0f ns p99 %10.0f allocs/query %12.0f B/query\n",
+			label, st.P50Ns, st.P99Ns, st.AllocsPerQuery, st.BytesPerQuery)
+		return st, ix
+	}
+
+	report.Materialized, _ = measure("stream/materialized", false)
+	var strIx *linkindex.ShardedIndex
+	report.Streamed, strIx = measure("stream/streamed", true)
+	report.StreamEarlyExits = strIx.Stats().StreamEarlyExits
+	report.AllocRatio = ratio(report.Streamed.AllocsPerQuery, report.Materialized.AllocsPerQuery)
+	report.P99Ratio = ratio(report.Streamed.P99Ns, report.Materialized.P99Ns)
+
+	writeLinkIndexSection(out, "stream", report)
+	fmt.Printf("\nstreamed path allocates %.2fx the materialized path per query (p99 ratio %.2fx, %d early exits) → %s\n",
+		report.AllocRatio, report.P99Ratio, report.StreamEarlyExits, out)
+}

@@ -90,6 +90,7 @@ func main() {
 		threshold  = flag.Float64("threshold", 0, "minimum link score (0 = rule match threshold)")
 		k          = flag.Int("k", 10, "default number of matches per query (k= overrides per request)")
 		shards     = flag.Int("shards", 0, "index shard count (0 = one per CPU)")
+		stream     = flag.Bool("stream", false, "streaming query path: lazy candidate enumeration with prefilter pushdown and early-exit top-k")
 		snapshot   = flag.String("snapshot", "", "snapshot file: restored at startup if present, written by POST /snapshot and on shutdown")
 		walDir     = flag.String("wal-dir", "", "durability directory: write-ahead log + auto-snapshots, recovered at startup (mutually exclusive with -snapshot)")
 		fsync      = flag.String("fsync", "batch", "WAL fsync policy: batch (fsync per write), interval (group-commit) or off")
@@ -119,13 +120,14 @@ func main() {
 			log.Fatalf("unknown -fsync policy %q (available: batch, interval, off)", *fsync)
 		}
 		dix, recovery, err = genlinkapi.OpenDurableIndex(*walDir, func() (*genlinkapi.Index, error) {
-			return freshIndex(*ruleFile, *dataset, *population, *iterations, *seed, *shards, *threshold, bl)
+			return freshIndex(*ruleFile, *dataset, *population, *iterations, *seed, *shards, *threshold, bl, *stream)
 		}, genlinkapi.DurableIndexOptions{
 			Fsync:            policy,
 			FsyncInterval:    *fsyncInt,
 			SnapshotEvery:    *autoSnap,
 			SnapshotInterval: *autoSnapT,
 			Shards:           *shards,
+			Stream:           *stream,
 			Logf:             log.Printf,
 		})
 		if err != nil {
@@ -141,7 +143,7 @@ func main() {
 				*walDir, policy, *autoSnap)
 		}
 	default:
-		ix, err = buildIndex(*ruleFile, *dataset, *population, *iterations, *seed, *shards, *threshold, *snapshot, bl)
+		ix, err = buildIndex(*ruleFile, *dataset, *population, *iterations, *seed, *shards, *threshold, *snapshot, bl, *stream)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -195,11 +197,11 @@ func main() {
 // buildIndex constructs the serving index: restored from the snapshot
 // file when one exists, otherwise fresh from -rule or learned on
 // -dataset (bulk-loading the dataset's B source).
-func buildIndex(ruleFile, dataset string, population, iterations int, seed int64, shards int, threshold float64, snapshot string, bl genlinkapi.Blocker) (*genlinkapi.Index, error) {
+func buildIndex(ruleFile, dataset string, population, iterations int, seed int64, shards int, threshold float64, snapshot string, bl genlinkapi.Blocker, stream bool) (*genlinkapi.Index, error) {
 	if snapshot != "" {
 		switch _, err := os.Stat(snapshot); {
 		case err == nil:
-			ix, err := genlinkapi.RestoreIndex(snapshot, genlinkapi.IndexRestoreOptions{Shards: shards, Blocker: bl})
+			ix, err := genlinkapi.RestoreIndex(snapshot, genlinkapi.IndexRestoreOptions{Shards: shards, Blocker: bl, Stream: stream})
 			if err != nil {
 				return nil, fmt.Errorf("restore %s: %w", snapshot, err)
 			}
@@ -217,12 +219,12 @@ func buildIndex(ruleFile, dataset string, population, iterations int, seed int64
 		}
 	}
 
-	return freshIndex(ruleFile, dataset, population, iterations, seed, shards, threshold, bl)
+	return freshIndex(ruleFile, dataset, population, iterations, seed, shards, threshold, bl, stream)
 }
 
 // freshIndex builds a brand-new index from -rule or -dataset — the
 // startup path when there is no persisted state to restore.
-func freshIndex(ruleFile, dataset string, population, iterations int, seed int64, shards int, threshold float64, bl genlinkapi.Blocker) (*genlinkapi.Index, error) {
+func freshIndex(ruleFile, dataset string, population, iterations int, seed int64, shards int, threshold float64, bl genlinkapi.Blocker, stream bool) (*genlinkapi.Index, error) {
 	var (
 		r            *genlinkapi.Rule
 		seedEntities []*genlinkapi.Entity
@@ -258,7 +260,7 @@ func freshIndex(ruleFile, dataset string, population, iterations int, seed int64
 		return nil, errors.New("one of -rule, -dataset or existing persisted state (-snapshot / -wal-dir) is required")
 	}
 
-	ix := genlinkapi.NewShardedIndex(r, shards, genlinkapi.MatchOptions{Blocker: bl, Threshold: threshold})
+	ix := genlinkapi.NewShardedIndex(r, shards, genlinkapi.MatchOptions{Blocker: bl, Threshold: threshold, Stream: stream})
 	if len(seedEntities) > 0 {
 		log.Printf("bulk-loaded %d entities", ix.BulkLoad(seedEntities))
 	}
@@ -600,6 +602,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"threshold":      st.Threshold,
 		"shards":         st.Shards,
 		"shard_entities": st.ShardEntities,
+		"stream":         st.Stream,
 	})
 }
 
@@ -622,6 +625,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"deletes":               s.m.deletes.Load(),
 		"snapshots":             s.m.snapshots.Load(),
 		"query_latency_buckets": buckets,
+		"stream_early_exits":    st.StreamEarlyExits,
 		"last_recovery_ms":      s.recoveryMs,
 	}
 	// Durability gauges: zero-valued without -wal-dir so dashboards can

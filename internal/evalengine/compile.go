@@ -107,6 +107,9 @@ type Compiled struct {
 	// opaque marks rules containing operator kinds the compiler does not
 	// understand; those fall back to the interpreted tree-walk.
 	opaque bool
+	// pf is the pushdown prefilter (prefilter.go), nil when the rule
+	// admits no sound metadata-level score bound.
+	pf *Prefilter
 }
 
 // Compile translates a rule into flat post-order programs. Rules containing
@@ -130,6 +133,7 @@ func Compile(r *rule.Rule) *Compiled {
 			c.vdepth = v.depth
 		}
 	}
+	c.pf = newPrefilter(c)
 	return c
 }
 
@@ -297,7 +301,8 @@ func (c *Compiled) fold(dists []float64, stack []float64) float64 {
 // goroutine around a shared Compiled.
 type Scorer struct {
 	c      *Compiled
-	cache  []map[*entity.Entity][]string // per valueProgram id
+	cache  []map[*entity.Entity][]string  // per valueProgram id
+	meta   []map[*entity.Entity]valueMeta // per valueProgram id (prefilter)
 	vstack [][]string
 	sstack []float64
 	dists  []float64
@@ -308,12 +313,14 @@ func (c *Compiled) Scorer() *Scorer {
 	s := &Scorer{
 		c:      c,
 		cache:  make([]map[*entity.Entity][]string, len(c.values)),
+		meta:   make([]map[*entity.Entity]valueMeta, len(c.values)),
 		vstack: make([][]string, c.vdepth),
 		sstack: make([]float64, c.depth),
 		dists:  make([]float64, len(c.dists)),
 	}
 	for i := range s.cache {
 		s.cache[i] = make(map[*entity.Entity][]string)
+		s.meta[i] = make(map[*entity.Entity]valueMeta)
 	}
 	return s
 }

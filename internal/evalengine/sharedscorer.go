@@ -22,7 +22,10 @@ type SharedScorer struct {
 	c *Compiled
 	// cache[i] memoizes value program i: *entity.Entity → []string.
 	cache []sync.Map
-	pool  sync.Pool
+	// meta[i] memoizes value program i's prefilter metadata:
+	// *entity.Entity → valueMeta.
+	meta []sync.Map
+	pool sync.Pool
 }
 
 // scorerScratch is the per-call evaluation workspace.
@@ -36,7 +39,7 @@ type scorerScratch struct {
 // rule. Prefer Scorer for single-goroutine batch work: it avoids the
 // synchronized map and pool on every lookup.
 func (c *Compiled) NewSharedScorer() *SharedScorer {
-	s := &SharedScorer{c: c, cache: make([]sync.Map, len(c.values))}
+	s := &SharedScorer{c: c, cache: make([]sync.Map, len(c.values)), meta: make([]sync.Map, len(c.values))}
 	s.pool.New = func() any {
 		return &scorerScratch{
 			vstack: make([][]string, c.vdepth),
@@ -80,5 +83,6 @@ func (s *SharedScorer) valueSet(p *valueProgram, e *entity.Entity, sc *scorerScr
 func (s *SharedScorer) Invalidate(e *entity.Entity) {
 	for i := range s.cache {
 		s.cache[i].Delete(e)
+		s.meta[i].Delete(e)
 	}
 }

@@ -168,7 +168,7 @@ func (x *keyedIndex) Candidates(probe *entity.Entity, maxBlock int) []*entity.En
 		if _, self := block[probe.ID]; self {
 			size--
 		}
-		if maxBlock > 0 && size > maxBlock {
+		if !matching.CapAllows(size, maxBlock) {
 			continue
 		}
 		for id, cand := range block {

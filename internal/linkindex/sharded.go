@@ -75,6 +75,11 @@ type ShardedIndex struct {
 	opts     matching.Options
 	shards   []*shard
 	count    atomic.Int64 // total entities across shards
+	// streamEarlyExits counts per-shard streamed-query enumerations
+	// terminated before exhaustion (probe bound below threshold, or heap
+	// full with the attainable bound below its floor). Only the
+	// Options.Stream query path increments it.
+	streamEarlyExits atomic.Int64
 }
 
 // shard is one partition: a single-mutex miniature of the retired
@@ -84,6 +89,11 @@ type shard struct {
 	entities map[string]*entity.Entity
 	blocks   BlockIndex
 	scorer   *evalengine.SharedScorer
+	// stream routes queries through the pull-iterator path with pushdown
+	// prefiltering and early-exit top-k (Options.Stream); earlyExits
+	// points at the owning index's counter.
+	stream     bool
+	earlyExits *atomic.Int64
 }
 
 // NewSharded returns an empty index with the given shard count (≤ 0 means
@@ -106,9 +116,11 @@ func NewSharded(r *rule.Rule, shards int, opts matching.Options) *ShardedIndex {
 	ix := &ShardedIndex{rule: r, compiled: compiled, opts: opts, shards: make([]*shard, shards)}
 	for i := range ix.shards {
 		ix.shards[i] = &shard{
-			entities: make(map[string]*entity.Entity),
-			blocks:   NewBlockIndex(opts.Blocker),
-			scorer:   compiled.NewSharedScorer(),
+			entities:   make(map[string]*entity.Entity),
+			blocks:     NewBlockIndex(opts.Blocker),
+			scorer:     compiled.NewSharedScorer(),
+			stream:     opts.Stream,
+			earlyExits: &ix.streamEarlyExits,
 		}
 	}
 	return ix
@@ -350,10 +362,12 @@ func (ix *ShardedIndex) Entities() []*entity.Entity {
 // Stats returns a point-in-time summary.
 func (ix *ShardedIndex) Stats() Stats {
 	st := Stats{
-		Blocker:       ix.opts.Blocker.Name(),
-		Threshold:     ix.opts.Threshold,
-		Shards:        len(ix.shards),
-		ShardEntities: make([]int, len(ix.shards)),
+		Blocker:          ix.opts.Blocker.Name(),
+		Threshold:        ix.opts.Threshold,
+		Shards:           len(ix.shards),
+		ShardEntities:    make([]int, len(ix.shards)),
+		Stream:           ix.opts.Stream,
+		StreamEarlyExits: ix.streamEarlyExits.Load(),
 	}
 	for i, sh := range ix.shards {
 		sh.mu.RLock()
@@ -516,6 +530,9 @@ func (sh *shard) query(probe *entity.Entity, k, maxBlockCfg int, threshold float
 
 // queryLocked is query with the shard lock already held.
 func (sh *shard) queryLocked(probe *entity.Entity, k, maxBlockCfg int, threshold float64) []matching.Link {
+	if sh.stream {
+		return sh.queryStreamLocked(probe, k, maxBlockCfg, threshold)
+	}
 	cands := sh.blocks.Candidates(probe, sh.effectiveMaxBlock(probe, maxBlockCfg))
 	if sh.entities[probe.ID] != probe {
 		// External probe (for this shard): cache its value sets only for
@@ -538,6 +555,74 @@ func (sh *shard) queryLocked(probe *entity.Entity, k, maxBlockCfg int, threshold
 	}
 	var links []matching.Link
 	for _, cand := range cands {
+		if score := sh.scorer.Score(probe, cand); score >= threshold {
+			links = append(links, matching.Link{AID: probe.ID, BID: cand.ID, Score: score})
+		}
+	}
+	return links
+}
+
+// queryStreamLocked is the Options.Stream form of queryLocked: the shard
+// scores straight off the candidate pull iterator (stream.go), applies
+// the compiled rule's pushdown prefilter per candidate, and for k > 0
+// terminates the enumeration once the heap is full and the probe's
+// attainable-score upper bound falls below the heap floor. Results are
+// exactly queryLocked's: every skip condition is strict (bound <
+// threshold, bound < floor), so only candidates the threshold or the
+// heap would reject anyway are skipped — and the per-shard top-k set is
+// enumeration-order independent because (score, BID) is a total order.
+func (sh *shard) queryStreamLocked(probe *entity.Entity, k, maxBlockCfg int, threshold float64) []matching.Link {
+	if sh.entities[probe.ID] != probe {
+		defer sh.scorer.Invalidate(probe)
+	}
+	hasPF := sh.scorer.HasPrefilter()
+	probeBound := 1.0
+	if hasPF {
+		// Upper bound over every possible candidate: a probe whose value
+		// sets already cap the score below the threshold (e.g. missing
+		// the properties of high-weight comparisons) answers without
+		// opening the stream at all.
+		probeBound = sh.scorer.ProbeBound(probe)
+		if probeBound < threshold {
+			sh.earlyExits.Add(1)
+			return nil
+		}
+	}
+	st := streamCandidates(sh.blocks, probe, sh.effectiveMaxBlock(probe, maxBlockCfg))
+	defer st.Close()
+	if k > 0 {
+		h := newTopK(k, min(k, 16))
+		for {
+			if len(h.links) == h.k && probeBound < h.links[0].Score {
+				// Even a perfect candidate cannot displace the floor.
+				sh.earlyExits.Add(1)
+				break
+			}
+			cand, ok := st.Next()
+			if !ok {
+				break
+			}
+			if hasPF {
+				bound := sh.scorer.Bound(probe, cand)
+				if bound < threshold || (len(h.links) == h.k && bound < h.links[0].Score) {
+					continue
+				}
+			}
+			if score := sh.scorer.Score(probe, cand); score >= threshold {
+				h.push(matching.Link{AID: probe.ID, BID: cand.ID, Score: score})
+			}
+		}
+		return h.links
+	}
+	var links []matching.Link
+	for {
+		cand, ok := st.Next()
+		if !ok {
+			break
+		}
+		if hasPF && sh.scorer.Bound(probe, cand) < threshold {
+			continue
+		}
 		if score := sh.scorer.Score(probe, cand); score >= threshold {
 			links = append(links, matching.Link{AID: probe.ID, BID: cand.ID, Score: score})
 		}

@@ -118,6 +118,10 @@ type RestoreOptions struct {
 	// snapshot's name resolves, the snapshot wins: restoring with a
 	// different blocker would silently change candidate semantics.
 	Blocker matching.Blocker
+	// Stream enables the streaming query path on the restored index
+	// (matching.Options.Stream). It is an execution mode, not corpus
+	// state, so it is not persisted in snapshots; set it per restore.
+	Stream bool
 }
 
 // ReadSnapshot rebuilds an index from a snapshot written by
@@ -154,6 +158,7 @@ func ReadSnapshot(r io.Reader, o RestoreOptions) (*ShardedIndex, error) {
 		Threshold:    snap.Threshold,
 		MaxBlockSize: snap.MaxBlockSize,
 		Blocker:      bl,
+		Stream:       o.Stream,
 	})
 	ix.BulkLoad(snap.Entities)
 	return ix, nil

@@ -1,0 +1,202 @@
+package linkindex_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"genlink/internal/entity"
+	"genlink/internal/linkindex"
+	"genlink/internal/matching"
+)
+
+// The stream-vs-materialize differential harness: after ANY interleaving
+// of Add/Update/Remove, (1) a candidate stream must yield exactly the
+// materialized Candidates slice as a set, with no duplicates and
+// regardless of partial consumption or early Close, for every strategy
+// and cap; (2) a streaming index (Options.Stream) must answer Query and
+// QueryID exactly — order included — like a materializing index fed the
+// identical writes, for every strategy × cap × shard combination. Runs
+// under -race in CI alongside the other differential tests.
+
+// drainStream consumes a candidate stream to exhaustion, failing on any
+// duplicate yield, and returns the sorted candidate ID set.
+func drainStream(t *testing.T, st linkindex.CandidateStream) []string {
+	t.Helper()
+	defer st.Close()
+	seen := make(map[string]struct{})
+	for {
+		e, ok := st.Next()
+		if !ok {
+			return sortedIDs(seen)
+		}
+		if _, dup := seen[e.ID]; dup {
+			t.Fatalf("stream yielded duplicate candidate %s", e.ID)
+		}
+		seen[e.ID] = struct{}{}
+	}
+}
+
+func TestDifferentialStreamVsMaterialize(t *testing.T) {
+	for name, bl := range diffStrategies() {
+		for _, maxBlock := range []int{-1, 0, 6} {
+			t.Run(fmt.Sprintf("%s/cap=%d", name, maxBlock), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(len(name))*100 + int64(maxBlock)))
+				bi := linkindex.NewBlockIndex(bl)
+				cs, streams := bi.(linkindex.CandidateStreamer)
+				if !streams {
+					t.Skipf("%T has no lazy stream path (served by the materializing fallback)", bi)
+				}
+				survivors := make(map[string]*entity.Entity)
+				nextID := 0
+
+				checkProbe := func(probe *entity.Entity) {
+					t.Helper()
+					want := idsOf(bi.Candidates(probe, maxBlock))
+					got := drainStream(t, cs.StreamCandidates(probe, maxBlock))
+					if !equalIDs(got, want) {
+						t.Fatalf("probe %s: streamed candidates diverge from materialized\n got: %v\nwant: %v",
+							probe.ID, got, want)
+					}
+					// Partial consumption then early Close must not corrupt
+					// anything: a fresh stream still yields the full set.
+					partial := cs.StreamCandidates(probe, maxBlock)
+					for i := 0; i < len(want)/2; i++ {
+						partial.Next()
+					}
+					partial.Close()
+					if _, ok := partial.Next(); ok {
+						t.Fatalf("probe %s: Next yielded after Close", probe.ID)
+					}
+					if again := drainStream(t, cs.StreamCandidates(probe, maxBlock)); !equalIDs(again, want) {
+						t.Fatalf("probe %s: re-drain after partial consumption diverges\n got: %v\nwant: %v",
+							probe.ID, again, want)
+					}
+				}
+
+				for op := 0; op < 80; op++ {
+					ids := sortedIDsOfMap(survivors)
+					switch {
+					case len(ids) == 0 || rng.Float64() < 0.45:
+						id := fmt.Sprintf("e%d", nextID)
+						nextID++
+						e := diffEntity(rng, id)
+						bi.Add(e)
+						survivors[id] = e
+					case rng.Float64() < 0.5:
+						id := ids[rng.Intn(len(ids))]
+						old := survivors[id]
+						e := diffEntity(rng, id)
+						bi.Remove(old)
+						bi.Add(e)
+						survivors[id] = e
+					default:
+						id := ids[rng.Intn(len(ids))]
+						bi.Remove(survivors[id])
+						delete(survivors, id)
+					}
+
+					if op%8 != 0 {
+						continue
+					}
+					ids = sortedIDsOfMap(survivors)
+					if len(ids) > 0 {
+						checkProbe(survivors[ids[rng.Intn(len(ids))]])
+						// A probe whose ID collides with a survivor but whose
+						// value is a different version (the external-probe
+						// self-exclusion paths).
+						checkProbe(diffEntity(rng, ids[rng.Intn(len(ids))]))
+					}
+					checkProbe(diffEntity(rng, "external-probe"))
+				}
+			})
+		}
+	}
+}
+
+// equalLinks reports exact equality, order included.
+func equalLinks(a, b []matching.Link) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDifferentialStreamQueryVsMaterializedQuery(t *testing.T) {
+	r := diffRule()
+	for name, bl := range diffStrategies() {
+		for _, maxBlock := range []int{-1, 0, 6} {
+			for _, shards := range []int{1, 2, 5} {
+				t.Run(fmt.Sprintf("%s/cap=%d/shards=%d", name, maxBlock, shards), func(t *testing.T) {
+					rng := rand.New(rand.NewSource(int64(len(name))*1000 + int64(maxBlock)*10 + int64(shards)))
+					mat := linkindex.NewSharded(r, shards, matching.Options{Blocker: bl, MaxBlockSize: maxBlock})
+					str := linkindex.NewSharded(r, shards, matching.Options{Blocker: bl, MaxBlockSize: maxBlock, Stream: true})
+					survivors := make(map[string]*entity.Entity)
+					nextID := 0
+
+					checkProbe := func(probe *entity.Entity) {
+						t.Helper()
+						for _, k := range []int{0, 1, 3} {
+							want := mat.Query(probe, k)
+							got := str.Query(probe, k)
+							if !equalLinks(got, want) {
+								t.Fatalf("probe %s k=%d: streamed Query diverges\n got: %v\nwant: %v",
+									probe.ID, k, got, want)
+							}
+						}
+						wantL, wantOK := mat.QueryID(probe.ID, 3)
+						gotL, gotOK := str.QueryID(probe.ID, 3)
+						if gotOK != wantOK || !equalLinks(gotL, wantL) {
+							t.Fatalf("QueryID(%s): streamed (%v,%v) vs materialized (%v,%v)",
+								probe.ID, gotL, gotOK, wantL, wantOK)
+						}
+					}
+
+					for op := 0; op < 60; op++ {
+						ids := sortedIDsOfMap(survivors)
+						switch {
+						case len(ids) == 0 || rng.Float64() < 0.45:
+							id := fmt.Sprintf("e%d", nextID)
+							nextID++
+							e := diffEntity(rng, id)
+							mat.Add(e)
+							str.Add(e)
+							survivors[id] = e
+						case rng.Float64() < 0.5:
+							id := ids[rng.Intn(len(ids))]
+							e := diffEntity(rng, id)
+							mat.Update(e)
+							str.Update(e)
+							survivors[id] = e
+						default:
+							id := ids[rng.Intn(len(ids))]
+							mat.Remove(id)
+							str.Remove(id)
+							delete(survivors, id)
+						}
+
+						if op%10 != 0 {
+							continue
+						}
+						ids = sortedIDsOfMap(survivors)
+						if len(ids) > 0 {
+							checkProbe(survivors[ids[rng.Intn(len(ids))]])
+						}
+						checkProbe(diffEntity(rng, "external-probe"))
+					}
+					if st := str.Stats(); !st.Stream {
+						t.Fatal("Stats().Stream must report the streaming mode")
+					}
+					if st := mat.Stats(); st.StreamEarlyExits != 0 {
+						t.Fatalf("materializing index counted %d early exits", st.StreamEarlyExits)
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package linkindex_test
+
+import (
+	"fmt"
+	"testing"
+
+	"genlink/internal/entity"
+	"genlink/internal/linkindex"
+	"genlink/internal/matching"
+)
+
+// FuzzCandidateStream drives the candidate-stream cursor contract with a
+// mutated op script: random corpus writes interleaved with opening,
+// partially consuming, and early-closing streams — including resuming a
+// stream after the corpus changed under it (legal only outside the
+// Index's locking, which is exactly what raw BlockIndex access is). The
+// invariants: never panic, a stream never yields the same candidate ID
+// twice, Next after Close yields nothing, and once writes quiesce a
+// fresh stream yields exactly the materialized Candidates set.
+func FuzzCandidateStream(f *testing.F) {
+	f.Add([]byte{0, 7, 13, 2, 19, 3, 22, 4, 9, 5, 1, 3, 17}, uint8(0), uint8(1))
+	f.Add([]byte{6, 6, 6, 3, 2, 4, 4, 4, 0, 3, 4, 5, 4}, uint8(3), uint8(2))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(2), uint8(0))
+	f.Fuzz(func(t *testing.T, script []byte, stratSel, capSel uint8) {
+		strategies := []matching.Blocker{
+			matching.TokenBlocking(),
+			matching.QGramBlocking(2),
+			matching.SortedNeighborhood(3),
+			matching.MultiPass(matching.TokenBlocking(), matching.SortedNeighborhood(3), matching.QGramBlocking(0)),
+		}
+		bl := strategies[int(stratSel)%len(strategies)]
+		maxBlock := []int{-1, 0, 2, 5}[int(capSel)%4]
+		bi := linkindex.NewBlockIndex(bl)
+		cs, ok := bi.(linkindex.CandidateStreamer)
+		if !ok {
+			t.Fatalf("%T: every built-in strategy must stream", bi)
+		}
+
+		// openStream tracks one live cursor and every ID it has yielded.
+		type openStream struct {
+			st      linkindex.CandidateStream
+			yielded map[string]struct{}
+			closed  bool
+		}
+		survivors := make(map[string]*entity.Entity)
+		var streams []*openStream
+
+		advance := func(s *openStream, steps int) {
+			for j := 0; j < steps; j++ {
+				e, ok := s.st.Next()
+				if !ok {
+					if s.closed {
+						return
+					}
+					return
+				}
+				if s.closed {
+					t.Fatalf("stream yielded %s after Close", e.ID)
+				}
+				if _, dup := s.yielded[e.ID]; dup {
+					t.Fatalf("stream yielded duplicate candidate %s", e.ID)
+				}
+				s.yielded[e.ID] = struct{}{}
+			}
+		}
+
+		if len(script) > 300 {
+			script = script[:300]
+		}
+		for i := 0; i < len(script); i++ {
+			op := script[i]
+			arg := byte(0)
+			if i+1 < len(script) {
+				i++
+				arg = script[i]
+			}
+			id := fmt.Sprintf("e%d", int(arg)%8)
+			switch op % 6 {
+			case 0, 1: // add or replace
+				if old, ok := survivors[id]; ok {
+					bi.Remove(old)
+				}
+				e := fuzzStreamEntity(id, arg)
+				bi.Add(e)
+				survivors[id] = e
+			case 2: // remove
+				if old, ok := survivors[id]; ok {
+					bi.Remove(old)
+					delete(survivors, id)
+				}
+			case 3: // open a stream (indexed or external probe)
+				probe := fuzzStreamEntity(id, arg)
+				if e, ok := survivors[id]; ok && arg%2 == 0 {
+					probe = e
+				}
+				streams = append(streams, &openStream{
+					st:      cs.StreamCandidates(probe, maxBlock),
+					yielded: make(map[string]struct{}),
+				})
+			case 4: // advance a stream a few steps
+				if len(streams) > 0 {
+					advance(streams[int(arg)%len(streams)], 1+int(arg)%4)
+				}
+			case 5: // close a stream early
+				if len(streams) > 0 {
+					s := streams[int(arg)%len(streams)]
+					s.st.Close()
+					s.closed = true
+				}
+			}
+		}
+		// Drain every leftover cursor against the final corpus: still no
+		// panics, no duplicates, nothing after Close.
+		for _, s := range streams {
+			advance(s, 1<<20)
+			s.st.Close()
+			s.closed = true
+			advance(s, 4)
+		}
+		// Quiescent re-run: with no writes in flight, a fresh stream is
+		// exactly the materialized batch set.
+		probes := make([]*entity.Entity, 0, len(survivors)+1)
+		for _, e := range survivors {
+			probes = append(probes, e)
+		}
+		probes = append(probes, fuzzStreamEntity("external", 5))
+		for _, probe := range probes {
+			want := idsOf(bi.Candidates(probe, maxBlock))
+			got := drainStream(t, cs.StreamCandidates(probe, maxBlock))
+			if !equalIDs(got, want) {
+				t.Fatalf("probe %s: quiescent stream %v != materialized %v", probe.ID, got, want)
+			}
+		}
+	})
+}
+
+// fuzzStreamEntity derives a small deterministic entity from one script
+// byte — a tiny vocabulary so blocks collide, caps trigger and
+// sort-neighborhood windows overlap.
+func fuzzStreamEntity(id string, sel byte) *entity.Entity {
+	vocab := []string{"data graph", "graph kernel", "netwrk", "network analysis", "", "query data", "kernel query", "analisys"}
+	e := entity.New(id)
+	e.Add("name", vocab[int(sel)%len(vocab)])
+	if sel%3 == 0 {
+		e.Add("title", vocab[int(sel/3)%len(vocab)])
+	}
+	return e
+}

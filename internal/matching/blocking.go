@@ -57,6 +57,44 @@ func CandidatePairs(bl Blocker, a, b *entity.Source, opts Options) []Pair {
 }
 
 // ---------------------------------------------------------------------------
+// Block-size cap policy
+
+// CapAllows is the single block-size cap policy shared by every
+// candidate-generation path — the batch blockers, the incremental
+// indexes of internal/linkindex, and the streaming enumerators: a key
+// block is admitted iff the cap is unlimited (maxBlock ≤ 0) or the
+// number of *other* entities in the block — the block size measured
+// without the probe's own record — does not exceed the cap. A block is
+// never truncated to the cap: picking which members survive truncation
+// would depend on enumeration order and could not be reproduced by a
+// streaming path, so an oversized block is skipped whole (stop-token
+// suppression). Measuring without the probe keeps the decision stable
+// between dedup-shaped batch runs (where the probe is itself indexed)
+// and online probes against a corpus that excludes it: a block exactly
+// at the cap must not flip to skipped just because the probe is a
+// member. TestCapPolicySharedSurvivors pins that every path picks the
+// same survivors.
+func CapAllows(others, maxBlock int) bool {
+	return maxBlock <= 0 || others <= maxBlock
+}
+
+// OthersInBlock returns the size of a materialized block excluding the
+// probe's own record (matched by entity ID) — the quantity CapAllows
+// measures. The membership scan only runs when excluding one record
+// could change the cap decision, so the common cases stay O(1).
+func OthersInBlock(block []*entity.Entity, probe *entity.Entity, maxBlock int) int {
+	size := len(block)
+	if maxBlock > 0 && size == maxBlock+1 {
+		for _, c := range block {
+			if c.ID == probe.ID {
+				return size - 1
+			}
+		}
+	}
+	return size
+}
+
+// ---------------------------------------------------------------------------
 // Token blocking
 
 // TokenBlocker generates a candidate for every pair sharing at least one
@@ -251,38 +289,41 @@ func (g QGramBlocker) q() int {
 // multi-byte rune may be split across grams, which is harmless for
 // blocking (both sides split identically).
 func QGramsOf(tok string, q int) []string {
+	return appendQGrams(nil, tok, q)
+}
+
+// appendQGrams appends the q-grams of tok to dst, letting callers that
+// loop over many tokens reuse one buffer instead of allocating a gram
+// slice per token.
+func appendQGrams(dst []string, tok string, q int) []string {
 	if q <= 0 {
 		q = 3
 	}
 	if tok == "" {
-		return nil
+		return dst
 	}
 	if len(tok) <= q {
-		return []string{tok}
+		return append(dst, tok)
 	}
-	out := make([]string, 0, len(tok)-q+1)
 	for i := 0; i+q <= len(tok); i++ {
-		out = append(out, tok[i:i+q])
+		dst = append(dst, tok[i:i+q])
 	}
-	return out
+	return dst
 }
 
 // QGramKeys returns the deduplicated q-grams of every token of e — the
 // blocking keys of QGramBlocker, shared with the incremental q-gram index
 // so batch and incremental candidates cannot diverge.
 func QGramKeys(e *entity.Entity, q int) []string {
-	seen := make(map[string]struct{})
-	var out []string
+	var d dedup
+	var buf []string
 	for _, tok := range Tokens(e) {
-		for _, gram := range QGramsOf(tok, q) {
-			if _, dup := seen[gram]; dup {
-				continue
-			}
-			seen[gram] = struct{}{}
-			out = append(out, gram)
+		buf = appendQGrams(buf[:0], tok, q)
+		for _, gram := range buf {
+			d.add(gram)
 		}
 	}
-	return out
+	return d.out
 }
 
 // Pairs implements Blocker via an inverted q-gram index over B.
@@ -298,7 +339,7 @@ func (g QGramBlocker) Pairs(a, b *entity.Source, opts Options) []Pair {
 		seen := make(map[*entity.Entity]struct{})
 		for _, gram := range QGramKeys(ea, g.q()) {
 			block := byGram[gram]
-			if opts.MaxBlockSize > 0 && len(block) > opts.MaxBlockSize {
+			if !CapAllows(OthersInBlock(block, ea, opts.MaxBlockSize), opts.MaxBlockSize) {
 				continue
 			}
 			for _, eb := range block {

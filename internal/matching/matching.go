@@ -45,6 +45,15 @@ type Options struct {
 	// Blocker selects the candidate-generation strategy
 	// (default: TokenBlocking).
 	Blocker Blocker
+	// Stream enumerates candidates lazily instead of materializing the
+	// deduplicated pair list: Match and MatchParallel score pairs as
+	// blocking proposes them (per-A-entity memory instead of O(total
+	// candidates)), applying the compiled rule's pushdown prefilter
+	// before scoring, and the incremental index (internal/linkindex)
+	// answers Query from pull iterators with early-exit top-k. Results
+	// are identical either way; Stream trades the materialized list's
+	// memory and allocation bill for streaming enumeration.
+	Stream bool
 }
 
 // normalize fills defaults: the rule match threshold, stop-token
@@ -71,20 +80,51 @@ type Index struct {
 // strategy — batch and incremental (internal/linkindex) — tokenizes
 // through this single helper so the strategies cannot silently diverge.
 func Tokens(e *entity.Entity) []string {
-	seen := make(map[string]struct{})
-	var out []string
+	var d dedup
 	for _, values := range e.Properties {
 		for _, v := range values {
 			for _, tok := range strings.Fields(strings.ToLower(v)) {
-				if _, dup := seen[tok]; dup {
-					continue
-				}
-				seen[tok] = struct{}{}
-				out = append(out, tok)
+				d.add(tok)
 			}
 		}
 	}
-	return out
+	return d.out
+}
+
+// dedupScan is the size up to which dedup uses a linear scan instead of
+// a map; key extraction runs on every query, so small entities should
+// not pay a map allocation just to deduplicate a handful of keys.
+const dedupScan = 16
+
+// dedup accumulates strings in first-seen order, dropping duplicates. It
+// scans linearly while the result is small and switches to a lazily
+// built map once it grows past dedupScan.
+type dedup struct {
+	out  []string
+	seen map[string]struct{} // nil until len(out) > dedupScan
+}
+
+func (d *dedup) add(v string) {
+	if d.seen == nil {
+		for _, x := range d.out {
+			if x == v {
+				return
+			}
+		}
+		d.out = append(d.out, v)
+		if len(d.out) > dedupScan {
+			d.seen = make(map[string]struct{}, 2*len(d.out))
+			for _, x := range d.out {
+				d.seen[x] = struct{}{}
+			}
+		}
+		return
+	}
+	if _, dup := d.seen[v]; dup {
+		return
+	}
+	d.seen[v] = struct{}{}
+	d.out = append(d.out, v)
 }
 
 // BuildIndex indexes every token of every property value of the source.
@@ -108,7 +148,7 @@ func (idx *Index) Candidates(e *entity.Entity, maxBlock int) []*entity.Entity {
 	var out []*entity.Entity
 	for _, tok := range Tokens(e) {
 		block := idx.byToken[tok]
-		if maxBlock > 0 && len(block) > maxBlock {
+		if !CapAllows(OthersInBlock(block, e, maxBlock), maxBlock) {
 			continue
 		}
 		for _, cand := range block {
@@ -127,6 +167,9 @@ func (idx *Index) Candidates(e *entity.Entity, maxBlock int) []*entity.Entity {
 // threshold, sorted by descending score then IDs.
 func Match(r *rule.Rule, a, b *entity.Source, opts Options) []Link {
 	opts.normalize(b.Len())
+	if opts.Stream {
+		return matchStream(r, a, b, opts)
+	}
 	links := scorePairs(r, CandidatePairs(opts.Blocker, a, b, opts), opts.Threshold)
 	sortLinks(links)
 	return links

@@ -25,6 +25,9 @@ func MatchParallel(r *rule.Rule, a, b *entity.Source, opts Options, workers int)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if opts.Stream {
+		return matchParallelStream(r, a, b, opts, workers)
+	}
 	pairs := CandidatePairs(opts.Blocker, a, b, opts)
 	if workers > len(pairs) {
 		workers = len(pairs)

@@ -1,0 +1,108 @@
+package matching
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"genlink/internal/entity"
+)
+
+// opaquePairBlocker hides its concrete type from newPairStreamer's
+// type switch, forcing the materializing generic fallback.
+type opaquePairBlocker struct{ Blocker }
+
+// randomWordSource builds a source of n entities over a small shared
+// vocabulary — enough value collisions to make blocks overlap, caps
+// trigger and sorted-neighborhood windows crowd.
+func randomWordSource(rng *rand.Rand, name string, n int) *entity.Source {
+	vocab := []string{"data", "graph", "kernel", "network", "análisis", "query", "silk", "link", ""}
+	src := entity.NewSource(name)
+	for i := 0; i < n; i++ {
+		e := entity.New(fmt.Sprintf("%s/%d", name, i))
+		e.Add("label", vocab[rng.Intn(len(vocab))]+" "+vocab[rng.Intn(len(vocab))])
+		if rng.Intn(2) == 0 {
+			e.Add("title", vocab[rng.Intn(len(vocab))])
+		}
+		if rng.Intn(3) == 0 {
+			e.Add("coord", fmt.Sprintf("%d %d", rng.Intn(5), rng.Intn(5)))
+		}
+		src.Add(e)
+	}
+	return src
+}
+
+// TestStreamPairsEqualCandidatePairs is the batch-layer differential:
+// for every strategy (and an opaque one served by the generic fallback)
+// and every cap, StreamPairs must yield exactly the CandidatePairs set —
+// no extras, no omissions, no duplicates. Covers A=B dedup shape,
+// disjoint sources, and a source with the same entity pointer listed
+// twice.
+func TestStreamPairsEqualCandidatePairs(t *testing.T) {
+	blockers := append(allBlockers(), opaquePairBlocker{TokenBlocking()})
+	for _, bl := range blockers {
+		for _, maxBlock := range []int{-1, 0, 4} {
+			t.Run(fmt.Sprintf("%s/cap=%d", bl.Name(), maxBlock), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(len(bl.Name()))*10 + int64(maxBlock)))
+				a := randomWordSource(rng, "a", 30)
+				b := randomWordSource(rng, "b", 25)
+				// The same pointer twice in A: uniqueEntities must visit it
+				// once, matching the batch path's Pair-level dedup.
+				a.Add(a.Entities[0])
+				opts := Options{Blocker: bl, MaxBlockSize: maxBlock}
+
+				check := func(label string, a, b *entity.Source) {
+					t.Helper()
+					want := make(map[Pair]struct{})
+					for _, p := range CandidatePairs(bl, a, b, opts) {
+						want[p] = struct{}{}
+					}
+					got := make(map[Pair]struct{})
+					StreamPairs(bl, a, b, opts, func(p Pair) {
+						if _, dup := got[p]; dup {
+							t.Fatalf("%s: StreamPairs yielded duplicate pair %s→%s", label, p.A.ID, p.B.ID)
+						}
+						got[p] = struct{}{}
+					})
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s: streamed pair set diverges from CandidatePairs: %d streamed vs %d materialized",
+							label, len(got), len(want))
+					}
+				}
+				check("a×b", a, b)
+				check("dedup a×a", a, a)
+			})
+		}
+	}
+}
+
+// TestMatchStreamModeEquivalence pins Options.Stream as a pure execution
+// mode: Match and MatchParallel must return byte-identical link slices
+// with and without it, for every strategy and cap.
+func TestMatchStreamModeEquivalence(t *testing.T) {
+	r := labelRule()
+	for _, bl := range allBlockers() {
+		for _, maxBlock := range []int{-1, 3} {
+			t.Run(fmt.Sprintf("%s/cap=%d", bl.Name(), maxBlock), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(len(bl.Name())) + int64(maxBlock)))
+				a := randomWordSource(rng, "a", 40)
+				b := randomWordSource(rng, "b", 35)
+				opts := Options{Blocker: bl, MaxBlockSize: maxBlock}
+				streamOpts := opts
+				streamOpts.Stream = true
+
+				want := Match(r, a, b, opts)
+				if got := Match(r, a, b, streamOpts); !reflect.DeepEqual(got, want) {
+					t.Fatalf("Match stream mode diverges:\n got: %v\nwant: %v", got, want)
+				}
+				if got := MatchParallel(r, a, b, streamOpts, 3); !reflect.DeepEqual(got, want) {
+					t.Fatalf("MatchParallel stream mode diverges:\n got: %v\nwant: %v", got, want)
+				}
+				if got := MatchParallel(r, a, b, streamOpts, 1); !reflect.DeepEqual(got, want) {
+					t.Fatalf("single-worker MatchParallel stream mode diverges:\n got: %v\nwant: %v", got, want)
+				}
+			})
+		}
+	}
+}

@@ -65,10 +65,21 @@ func Levenshtein() Measure {
 	return Func{MeasureName: "levenshtein", Single: levenshtein}
 }
 
+// levenshteinStack bounds the input length (in runes) for which the
+// rune buffers and DP rows of levenshtein stay on the stack. Typical
+// property values (names, titles) fit; longer inputs spill to the heap.
+const levenshteinStack = 64
+
 // levenshtein computes the classic edit distance in O(len(a)·len(b)) time
 // and O(min) space, operating on runes so multi-byte input is handled.
+// The scorer calls this once per candidate pair on the query hot path,
+// so the working set is stack-allocated for typical value lengths.
 func levenshtein(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
+	if a == b {
+		return 0
+	}
+	var raBuf, rbBuf [levenshteinStack]rune
+	ra, rb := appendRunes(raBuf[:0], a), appendRunes(rbBuf[:0], b)
 	if len(ra) == 0 {
 		return float64(len(rb))
 	}
@@ -78,8 +89,15 @@ func levenshtein(a, b string) float64 {
 	if len(ra) > len(rb) {
 		ra, rb = rb, ra
 	}
-	prev := make([]int, len(ra)+1)
-	cur := make([]int, len(ra)+1)
+	var rowBuf [2 * (levenshteinStack + 1)]int
+	var prev, cur []int
+	if len(ra) <= levenshteinStack {
+		prev = rowBuf[: len(ra)+1 : levenshteinStack+1]
+		cur = rowBuf[levenshteinStack+1 : levenshteinStack+2+len(ra)]
+	} else {
+		prev = make([]int, len(ra)+1)
+		cur = make([]int, len(ra)+1)
+	}
 	for i := range prev {
 		prev[i] = i
 	}
@@ -95,6 +113,16 @@ func levenshtein(a, b string) float64 {
 		prev, cur = cur, prev
 	}
 	return float64(prev[len(ra)])
+}
+
+// appendRunes appends the runes of s to dst — rune decoding without the
+// []rune(s) conversion's unconditional heap allocation (dst can be a
+// stack buffer; append spills to the heap only past its capacity).
+func appendRunes(dst []rune, s string) []rune {
+	for _, r := range s {
+		dst = append(dst, r)
+	}
+	return dst
 }
 
 // NormalizedLevenshtein returns levenshtein divided by the length of the
@@ -128,6 +156,44 @@ func (jaccardMeasure) Distance(a, b []string) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return math.Inf(1)
 	}
+	ca, cb, inter := setStats(a, b)
+	union := ca + cb - inter
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/float64(union)
+}
+
+// smallSet bounds the value-list length for which setStats counts with
+// nested scans instead of allocating maps. Multi-valued properties are
+// typically 1–3 values, so the scans are the common case on the query
+// hot path.
+const smallSet = 16
+
+// setStats returns the distinct-value cardinalities of a and b and the
+// size of their intersection — the quantities the set measures (jaccard,
+// dice, cosine) are defined over.
+func setStats(a, b []string) (ca, cb, inter int) {
+	if len(a) <= smallSet && len(b) <= smallSet {
+		for i, v := range a {
+			if containsBefore(a, i, v) {
+				continue
+			}
+			ca++
+			for _, w := range b {
+				if w == v {
+					inter++
+					break
+				}
+			}
+		}
+		for i, v := range b {
+			if !containsBefore(b, i, v) {
+				cb++
+			}
+		}
+		return ca, cb, inter
+	}
 	setA := make(map[string]struct{}, len(a))
 	for _, v := range a {
 		setA[v] = struct{}{}
@@ -136,17 +202,22 @@ func (jaccardMeasure) Distance(a, b []string) float64 {
 	for _, v := range b {
 		setB[v] = struct{}{}
 	}
-	inter := 0
 	for v := range setA {
 		if _, ok := setB[v]; ok {
 			inter++
 		}
 	}
-	union := len(setA) + len(setB) - inter
-	if union == 0 {
-		return 0
+	return len(setA), len(setB), inter
+}
+
+// containsBefore reports whether vs[i] already occurred in vs[:i].
+func containsBefore(vs []string, i int, v string) bool {
+	for _, w := range vs[:i] {
+		if w == v {
+			return true
+		}
 	}
-	return 1 - float64(inter)/float64(union)
+	return false
 }
 
 // Dice returns the Sørensen–Dice distance over value sets: 1 − 2|A∩B|/(|A|+|B|).
@@ -161,21 +232,8 @@ func (diceMeasure) Distance(a, b []string) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return math.Inf(1)
 	}
-	setA := make(map[string]struct{}, len(a))
-	for _, v := range a {
-		setA[v] = struct{}{}
-	}
-	setB := make(map[string]struct{}, len(b))
-	for _, v := range b {
-		setB[v] = struct{}{}
-	}
-	inter := 0
-	for v := range setA {
-		if _, ok := setB[v]; ok {
-			inter++
-		}
-	}
-	den := len(setA) + len(setB)
+	ca, cb, inter := setStats(a, b)
+	den := ca + cb
 	if den == 0 {
 		return 0
 	}
@@ -195,21 +253,8 @@ func (cosineMeasure) Distance(a, b []string) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return math.Inf(1)
 	}
-	setA := make(map[string]struct{}, len(a))
-	for _, v := range a {
-		setA[v] = struct{}{}
-	}
-	setB := make(map[string]struct{}, len(b))
-	for _, v := range b {
-		setB[v] = struct{}{}
-	}
-	inter := 0
-	for v := range setA {
-		if _, ok := setB[v]; ok {
-			inter++
-		}
-	}
-	den := math.Sqrt(float64(len(setA)) * float64(len(setB)))
+	ca, cb, inter := setStats(a, b)
+	den := math.Sqrt(float64(ca) * float64(cb))
 	if den == 0 {
 		return 0
 	}
@@ -308,9 +353,42 @@ var dateLayouts = []string{
 	"2006",
 }
 
+// monthPrefixes are the distinct three-letter prefixes of the English
+// month names — the first token every named dateLayout begins with.
+var monthPrefixes = []string{"jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec"}
+
+// hasMonthPrefix reports whether s could start with a month name. The
+// check is case-insensitive, so it is at least as permissive as
+// time.Parse's name matching — a false positive costs one failed parse,
+// a false negative is impossible.
+func hasMonthPrefix(s string) bool {
+	if len(s) < 3 {
+		return false
+	}
+	for _, m := range monthPrefixes {
+		if strings.EqualFold(s[:3], m) {
+			return true
+		}
+	}
+	return false
+}
+
 // ParseDate parses a date value using the supported layouts.
+//
+// The measure runs once per value pair on the query hot path, and on
+// non-date corpora every attempt fails — with time.Parse allocating an
+// error each try. Values that cannot possibly match any layout (no
+// leading digit or sign for the numeric layouts, no month-name prefix
+// for the named ones) are rejected before time.Parse runs.
 func ParseDate(s string) (time.Time, bool) {
 	s = strings.TrimSpace(s)
+	if s == "" {
+		return time.Time{}, false
+	}
+	numericish := s[0] >= '0' && s[0] <= '9' || s[0] == '-' || s[0] == '+'
+	if !numericish && !hasMonthPrefix(s) {
+		return time.Time{}, false
+	}
 	for _, layout := range dateLayouts {
 		if t, err := time.Parse(layout, s); err == nil {
 			return t, true

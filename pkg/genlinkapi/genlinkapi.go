@@ -336,6 +336,15 @@ func CandidatePairs(bl Blocker, a, b *Source, opts MatchOptions) []CandidatePair
 	return matching.CandidatePairs(bl, a, b, opts)
 }
 
+// StreamCandidatePairs enumerates the same deduplicated candidate pairs
+// as CandidatePairs but pushes them to yield one at a time instead of
+// materializing the full slice — the constant-memory form for pipelines
+// that filter or score pairs as they arrive. Setting MatchOptions.Stream
+// selects this enumeration inside Match as well.
+func StreamCandidatePairs(bl Blocker, a, b *Source, opts MatchOptions, yield func(CandidatePair)) {
+	matching.StreamPairs(bl, a, b, opts, yield)
+}
+
 // MatchPairs scores precomputed candidate pairs (as returned by
 // CandidatePairs) and returns the links sorted like Match, so pipelines
 // that already hold the pair list need not re-run the blocker.
