@@ -26,10 +26,14 @@
 //     materializing default on twin indexes — p50/p99 latency and
 //     allocs/query per mode → the "stream" section of
 //     BENCH_linkindex.json
+//   - backfill: the corpus-scale write paths — bulk-backfill ingest
+//     (unlogged, snapshot-barrier commit) vs WAL-logged ingest, and
+//     shard-parallel vs sequential WAL replay on the same crash state →
+//     the "backfill" section of BENCH_linkindex.json
 //
 // BENCH_linkindex.json holds one JSON object with an "index", a "shard",
-// a "durability" and a "stream" section; each workload rewrites its own
-// section and preserves the others.
+// a "durability", a "stream" and a "backfill" section; each workload
+// rewrites its own section and preserves the others.
 //
 // Usage:
 //
@@ -155,8 +159,22 @@ func main() {
 			*out = "BENCH_linkindex.json"
 		}
 		runStreamWorkload(ds, *out, *probes, *streamK, *blocker, *seed)
+	case "backfill":
+		if *out == "" {
+			*out = "BENCH_linkindex.json"
+		}
+		n := *shards
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		if n < 2 {
+			// Per-shard parallelism is the point; a single shard would
+			// measure the pipeline overhead with nothing to parallelize.
+			n = 2
+		}
+		runBackfillWorkload(ds, *out, *blocker, *durBatch, n)
 	default:
-		log.Fatalf("unknown workload %q (available: engine, index, shard, durability, stream)", *workload)
+		log.Fatalf("unknown workload %q (available: engine, index, shard, durability, stream, backfill)", *workload)
 	}
 }
 
@@ -419,7 +437,7 @@ func writeLinkIndexSection(out, section string, v any) {
 	if data, err := os.ReadFile(out); err == nil {
 		var existing map[string]json.RawMessage
 		if json.Unmarshal(data, &existing) == nil {
-			for _, key := range []string{"index", "shard", "durability", "stream"} {
+			for _, key := range []string{"index", "shard", "durability", "stream", "backfill"} {
 				if raw, ok := existing[key]; ok {
 					sections[key] = raw
 				}
@@ -867,6 +885,185 @@ func runDurabilityWorkload(ds *entity.Dataset, out, blockerName string, batchSiz
 	fmt.Printf("\nfsync off is %.1fx batch, interval %.1fx batch; full-log recovery %.1f ms → %s\n",
 		report.Speedups["fsync_off_vs_batch"], report.Speedups["fsync_interval_vs_batch"],
 		report.Recovery[len(report.Recovery)-1].RecoveryMs, out)
+}
+
+// IngestRate is one write path's throughput in the backfill workload.
+type IngestRate struct {
+	Path string `json:"path"`
+	// EntitiesPerSec counts corpus entities through the whole path — for
+	// backfill that includes the commit barrier, so the rates compare
+	// end-to-end durable loads, not an unlogged apply against a synced one.
+	EntitiesPerSec float64 `json:"entities_per_sec"`
+	NsPerBatch     float64 `json:"ns_per_batch"`
+}
+
+// BackfillReport is the "backfill" section of BENCH_linkindex.json:
+// bulk-backfill vs WAL-logged ingest of the same corpus, and
+// shard-parallel vs sequential replay of the same crash state.
+type BackfillReport struct {
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	Dataset   string `json:"dataset"`
+	Blocker   string `json:"blocker"`
+	Entities  int    `json:"entities"`
+	BatchSize int    `json:"batch_size"`
+	Shards    int    `json:"shards"`
+
+	Ingest []IngestRate `json:"ingest"`
+	// CommitMs is the snapshot-barrier cost inside the backfill rate: one
+	// atomic snapshot making the whole load durable.
+	CommitMs float64 `json:"commit_ms"`
+
+	// Replay of the full logged ingest from cold, sequential reference vs
+	// the shard-parallel pipeline (decode-ahead reader, per-shard apply
+	// workers) on copies of the same state.
+	RecordsReplayed      int     `json:"records_replayed"`
+	RecoverySequentialMs float64 `json:"recovery_sequential_ms"`
+	RecoveryParallelMs   float64 `json:"recovery_parallel_ms"`
+
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+// runBackfillWorkload measures the corpus-scale write paths against each
+// other: the dataset's B source is streamed through the WAL-logged Apply
+// path (fsync=batch — the durability contract online writes pay), then
+// through an unlogged bulk-backfill session closed by its snapshot
+// barrier; and the logged run's crash state is recovered from cold twice,
+// once through the sequential replay reference and once through the
+// shard-parallel pipeline.
+func runBackfillWorkload(ds *entity.Dataset, out, blockerName string, batchSize, shards int) {
+	bl := matching.BlockerByName(blockerName)
+	if bl == nil {
+		log.Fatalf("unknown blocker %q (available: %v)", blockerName, matching.BlockerNames())
+	}
+	if batchSize <= 0 {
+		batchSize = 128
+	}
+	r := probeRule(ds)
+	corpus := ds.B.Entities
+	opts := matching.Options{Blocker: bl}
+
+	report := &BackfillReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Dataset:   ds.Name,
+		Blocker:   bl.Name(),
+		Entities:  len(corpus),
+		BatchSize: batchSize,
+		Shards:    shards,
+		Speedups:  map[string]float64{},
+	}
+	dopts := linkindex.DurableOptions{Fsync: linkindex.FsyncBatch, SnapshotEvery: -1}
+
+	// Logged ingest: every batch through WAL append + fsync, the price
+	// online writes pay. The directory is kept as the replay corpus.
+	loggedDir, err := os.MkdirTemp("", "genlink-bench-backfill-log-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(loggedDir)
+	d, err := linkindex.NewDurable(loggedDir, linkindex.NewSharded(r, shards, opts), dopts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batches := 0
+	t0 := time.Now()
+	for i := 0; i < len(corpus); i += batchSize {
+		hi := min(i+batchSize, len(corpus))
+		if _, err := d.Apply(linkindex.Batch{Upserts: corpus[i:hi]}); err != nil {
+			log.Fatal(err)
+		}
+		batches++
+	}
+	loggedNs := float64(time.Since(t0).Nanoseconds())
+	if err := d.Close(); err != nil {
+		log.Fatal(err)
+	}
+	logged := IngestRate{
+		Path:           "logged",
+		EntitiesPerSec: float64(len(corpus)) / (loggedNs / 1e9),
+		NsPerBatch:     loggedNs / float64(batches),
+	}
+	report.Ingest = append(report.Ingest, logged)
+	fmt.Printf("%-28s %12.0f ns/batch %10.0f entities/sec\n",
+		"backfill/ingest(logged)", logged.NsPerBatch, logged.EntitiesPerSec)
+
+	// Backfill ingest: same corpus, same batches, through the unlogged
+	// session, closed by the commit barrier — end-to-end durable load.
+	bfDir, err := os.MkdirTemp("", "genlink-bench-backfill-bulk-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(bfDir)
+	bd, err := linkindex.NewDurable(bfDir, linkindex.NewSharded(r, shards, opts), dopts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bf, err := bd.BeginBackfill()
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 = time.Now()
+	for i := 0; i < len(corpus); i += batchSize {
+		hi := min(i+batchSize, len(corpus))
+		if _, err := bf.Apply(linkindex.Batch{Upserts: corpus[i:hi]}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	tCommit := time.Now()
+	if err := bf.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	bulkNs := float64(time.Since(t0).Nanoseconds())
+	report.CommitMs = float64(time.Since(tCommit).Microseconds()) / 1000
+	if err := bd.Close(); err != nil {
+		log.Fatal(err)
+	}
+	bulk := IngestRate{
+		Path:           "backfill",
+		EntitiesPerSec: float64(len(corpus)) / (bulkNs / 1e9),
+		NsPerBatch:     bulkNs / float64(batches),
+	}
+	report.Ingest = append(report.Ingest, bulk)
+	report.Speedups["backfill_vs_logged_ingest"] = ratio(bulk.EntitiesPerSec, logged.EntitiesPerSec)
+	fmt.Printf("%-28s %12.0f ns/batch %10.0f entities/sec (commit %.1f ms)\n",
+		"backfill/ingest(bulk)", bulk.NsPerBatch, bulk.EntitiesPerSec, report.CommitMs)
+
+	// Replay: the logged run left a genesis snapshot plus the whole log —
+	// the worst crash state. Recover it through both pipelines; they must
+	// agree on what was replayed or the comparison is void.
+	seqIx, seqStats, err := linkindex.Recover(loggedDir, linkindex.DurableOptions{SnapshotEvery: -1, RecoveryParallelism: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := seqIx.Close(); err != nil {
+		log.Fatal(err)
+	}
+	parallelism := max(shards, 2)
+	parIx, parStats, err := linkindex.Recover(loggedDir, linkindex.DurableOptions{SnapshotEvery: -1, RecoveryParallelism: parallelism})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := parIx.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if seqStats.RecordsReplayed != batches || parStats.RecordsReplayed != batches ||
+		seqStats.ParallelReplay || !parStats.ParallelReplay {
+		log.Fatalf("replay mismatch: sequential %+v, parallel %+v, want %d records", seqStats, parStats, batches)
+	}
+	report.RecordsReplayed = batches
+	report.RecoverySequentialMs = float64(seqStats.Duration.Microseconds()) / 1000
+	report.RecoveryParallelMs = float64(parStats.Duration.Microseconds()) / 1000
+	report.Speedups["parallel_vs_sequential_recovery"] = ratio(report.RecoverySequentialMs, report.RecoveryParallelMs)
+	fmt.Printf("%-28s %10.1f ms sequential, %10.1f ms parallel (%d records)\n",
+		"backfill/recover", report.RecoverySequentialMs, report.RecoveryParallelMs, batches)
+
+	writeLinkIndexSection(out, "backfill", report)
+	fmt.Printf("\nbackfill ingest is %.1fx logged; parallel replay %.1fx sequential → %s\n",
+		report.Speedups["backfill_vs_logged_ingest"],
+		report.Speedups["parallel_vs_sequential_recovery"], out)
 }
 
 // ratio returns num/den sanitized for JSON: a measurement that recorded

@@ -29,12 +29,29 @@
 // most the final torn, unacknowledged record under -fsync batch.
 // -wal-dir and -snapshot are mutually exclusive.
 //
+// On a durable server, POST /entities?backfill=1 routes the batch
+// through a bulk-backfill session instead of the log: batches apply
+// through the per-shard parallel pipeline with no per-batch WAL
+// append/fsync, and POST /backfill/commit makes the whole load durable
+// with one atomic snapshot barrier. A crash before the commit recovers
+// the pre-backfill state (regular logged writes keep their own
+// durability throughout). Graceful shutdown commits an open session.
+//
+// -pprof serves net/http/pprof on a second, normally-loopback address so
+// the parallel ingest/recovery paths can be profiled in situ; it is off
+// by default and shares nothing with the service mux.
+//
 // Endpoints:
 //
 //	POST   /entities        add or update entities; body is one entity
 //	                        {"id": "...", "properties": {"p": ["v", ...]}}
 //	                        or an array of them; the whole body is applied
 //	                        as one batch through the sharded write pipeline
+//	                        (?backfill=1 on a -wal-dir server: apply via
+//	                        the unlogged bulk-backfill session)
+//	POST   /backfill/commit commit the open backfill session: one atomic
+//	                        snapshot barrier makes the whole load durable
+//	                        (409 without -wal-dir or an open session)
 //	DELETE /entities/{id}   remove an entity (404 if unknown)
 //	GET    /entities/{id}   fetch a stored entity
 //	GET    /match?id=X&k=10 top-k matches of stored entity X against the
@@ -65,9 +82,11 @@ import (
 	"io/fs"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers profiling handlers on DefaultServeMux, served only via -pprof
 	"os"
 	"os/signal"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -97,6 +116,7 @@ func main() {
 		fsyncInt   = flag.Duration("fsync-interval", 100*time.Millisecond, "group-commit period for -fsync interval")
 		autoSnap   = flag.Int("auto-snapshot", 10000, "auto-snapshot after this many WAL records (negative disables)")
 		autoSnapT  = flag.Duration("auto-snapshot-interval", 0, "also auto-snapshot on this interval when records arrived (0 disables)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; off when empty)")
 	)
 	flag.Parse()
 
@@ -152,6 +172,18 @@ func main() {
 	srv := newServer(ix, *k, *snapshot)
 	srv.dix = dix
 	srv.recoveryMs = float64(recovery.Duration.Microseconds()) / 1000
+
+	if *pprofAddr != "" {
+		// The profiling mux is the DefaultServeMux (net/http/pprof
+		// registers itself there); the service mux below is separate, so
+		// profiling is reachable only through this address.
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 	st := ix.Stats()
 	log.Printf("serving on %s (blocker %s, %d shards, %d entities)", *addr, st.Blocker, st.Shards, st.Entities)
 	// Explicit timeouts so stalled clients (slowloris headers, never-
@@ -293,6 +325,7 @@ type metrics struct {
 	writes         atomic.Int64 // entities upserted
 	deletes        atomic.Int64
 	snapshots      atomic.Int64
+	backfilled     atomic.Int64   // entities upserted through backfill sessions
 	latencyBuckets []atomic.Int64 // one per queryLatencyBuckets entry
 }
 
@@ -323,6 +356,13 @@ type server struct {
 	snapshotPath string
 	recoveryMs   float64
 	m            metrics
+
+	// bf is the open bulk-backfill session, lazily opened by the first
+	// POST /entities?backfill=1 and closed by POST /backfill/commit (or
+	// committed on graceful shutdown). bfMu serializes session lifecycle
+	// against backfill applies.
+	bfMu sync.Mutex
+	bf   *genlinkapi.BackfillSession
 }
 
 func newServer(ix *genlinkapi.Index, defaultK int, snapshotPath string) *server {
@@ -350,12 +390,22 @@ func (s *server) flushSnapshot() error {
 // shutdownPersist is the graceful-shutdown hook: on a durable server it
 // takes a final snapshot (compacting the log) and closes the WAL; on a
 // -snapshot server it flushes the snapshot file; otherwise it is a
-// no-op.
+// no-op. An open backfill session is committed first — its snapshot
+// barrier doubles as the shutdown snapshot, and skipping it would lose
+// the whole load (plain Snapshot refuses while a session is open).
 func (s *server) shutdownPersist() error {
 	if s.dix == nil {
 		return s.flushSnapshot()
 	}
-	err := s.dix.Snapshot()
+	s.bfMu.Lock()
+	var err error
+	if s.bf != nil {
+		err = s.bf.Commit()
+		s.bf = nil
+	} else {
+		err = s.dix.Snapshot()
+	}
+	s.bfMu.Unlock()
 	if err == nil {
 		s.m.snapshots.Add(1)
 	}
@@ -369,6 +419,7 @@ func (s *server) shutdownPersist() error {
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /entities", s.handlePostEntities)
+	mux.HandleFunc("POST /backfill/commit", s.handleBackfillCommit)
 	mux.HandleFunc("GET /entities/{id}", s.handleGetEntity)
 	mux.HandleFunc("DELETE /entities/{id}", s.handleDeleteEntity)
 	mux.HandleFunc("GET /match", s.handleMatch)
@@ -415,6 +466,10 @@ func (s *server) handlePostEntities(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if bf := r.URL.Query().Get("backfill"); bf == "1" || bf == "true" {
+		s.handleBackfillEntities(w, entities)
+		return
+	}
 	var res genlinkapi.IndexApplyResult
 	if s.dix != nil {
 		// Durable path: the batch is write-ahead logged (and fsynced per
@@ -430,6 +485,76 @@ func (s *server) handlePostEntities(w http.ResponseWriter, r *http.Request) {
 	}
 	s.m.writes.Add(int64(res.Upserted))
 	writeJSON(w, http.StatusOK, map[string]int{"added": res.Upserted, "entities": s.ix.Len()})
+}
+
+// handleBackfillEntities is the ?backfill=1 branch of POST /entities:
+// the batch applies through the bulk-backfill session — per-shard
+// parallel build, no WAL append, no fsync — lazily opening the session
+// on first use. Nothing is durable until POST /backfill/commit; the
+// response says so explicitly so a 200 here cannot be mistaken for the
+// logged path's durability acknowledgment.
+func (s *server) handleBackfillEntities(w http.ResponseWriter, entities []*genlinkapi.Entity) {
+	if s.dix == nil {
+		writeError(w, http.StatusConflict, errors.New("backfill mode requires -wal-dir (there is no durability barrier to commit to)"))
+		return
+	}
+	s.bfMu.Lock()
+	if s.bf == nil {
+		bf, err := s.dix.BeginBackfill()
+		if err != nil {
+			s.bfMu.Unlock()
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.bf = bf
+	}
+	res, err := s.bf.Apply(genlinkapi.IndexBatch{Upserts: entities})
+	loaded := s.bf.Loaded()
+	s.bfMu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.m.writes.Add(int64(res.Upserted))
+	s.m.backfilled.Add(int64(res.Upserted))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"added":            res.Upserted,
+		"entities":         s.ix.Len(),
+		"backfill_pending": loaded,
+		"durable":          false,
+	})
+}
+
+// handleBackfillCommit closes the open backfill session with its
+// snapshot barrier: one atomic snapshot makes every backfilled entity
+// durable and compacts the log. 409 when no session is open. On a
+// snapshot failure the session stays open so the commit can be retried.
+func (s *server) handleBackfillCommit(w http.ResponseWriter, _ *http.Request) {
+	if s.dix == nil {
+		writeError(w, http.StatusConflict, errors.New("backfill mode requires -wal-dir"))
+		return
+	}
+	s.bfMu.Lock()
+	defer s.bfMu.Unlock()
+	if s.bf == nil {
+		writeError(w, http.StatusConflict, errors.New("no open backfill session (POST /entities?backfill=1 opens one)"))
+		return
+	}
+	t0 := time.Now()
+	loaded := s.bf.Loaded()
+	if err := s.bf.Commit(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.bf = nil
+	s.m.snapshots.Add(1)
+	dm := s.dix.Metrics()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"committed":    loaded,
+		"entities":     s.ix.Len(),
+		"snapshot_seq": dm.SnapshotSeq,
+		"ms":           float64(time.Since(t0).Microseconds()) / 1000,
+	})
 }
 
 // decodeEntities accepts `{...}` or `[{...}, ...]` bodies and validates
@@ -631,12 +756,16 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	// Durability gauges: zero-valued without -wal-dir so dashboards can
 	// rely on the keys existing.
 	var dm genlinkapi.DurableIndexMetrics
+	backfillActive := false
 	if s.dix != nil {
 		dm = s.dix.Metrics()
+		backfillActive = s.dix.Backfilling()
 	}
 	out["wal_records"] = dm.WALRecords
 	out["wal_segments"] = dm.WALSegments
 	out["wal_snapshot_seq"] = dm.SnapshotSeq
+	out["backfill_active"] = backfillActive
+	out["backfilled"] = s.m.backfilled.Load()
 	writeJSON(w, http.StatusOK, out)
 }
 

@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -687,5 +688,146 @@ func TestDurableServerCrashRecovery(t *testing.T) {
 	}
 	if dix2.Metrics().WALRecords != 4 {
 		t.Fatalf("post-recovery WALRecords = %d, want 4", dix2.Metrics().WALRecords)
+	}
+}
+
+// TestBackfillEndpoints drives the bulk-backfill HTTP surface end to
+// end: ?backfill=1 batches skip the WAL and answer durable:false, a
+// crash before POST /backfill/commit recovers none of them, and after
+// a commit (the snapshot barrier) a crashed server recovers the whole
+// load with nothing replayed from the log.
+func TestBackfillEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	opts := genlinkapi.DurableIndexOptions{Fsync: genlinkapi.FsyncBatch, SnapshotEvery: -1}
+	ts, dix := newDurableTestServer(t, dir, opts)
+	c := ts.Client()
+
+	// Commit without a session: 409.
+	if code := doJSON(t, c, "POST", ts.URL+"/backfill/commit", nil, nil); code != 409 {
+		t.Fatalf("commit without session = %d, want 409", code)
+	}
+
+	// A logged write before the session: its durability must survive a
+	// pre-commit crash alongside the discarded backfill.
+	if code := doJSON(t, c, "POST", ts.URL+"/entities", entityJSON("logged1", "Grace Hopper", "compilers"), nil); code != 200 {
+		t.Fatalf("logged POST /entities = %d", code)
+	}
+	walBefore := dix.Metrics().WALRecords
+
+	bulk := []byte(`[` + string(entityJSON("bf1", "Alan Turing", "computability")) + `,` +
+		string(entityJSON("bf2", "Ada Lovelace", "notes")) + `]`)
+	var bfResp map[string]any
+	if code := doJSON(t, c, "POST", ts.URL+"/entities?backfill=1", bulk, &bfResp); code != 200 {
+		t.Fatalf("POST /entities?backfill=1 = %d", code)
+	}
+	if bfResp["durable"] != false || bfResp["backfill_pending"].(float64) != 2 {
+		t.Fatalf("backfill response = %v, want durable:false pending:2", bfResp)
+	}
+	if code := doJSON(t, c, "POST", ts.URL+"/entities?backfill=1", entityJSON("bf3", "John McCarthy", "lisp"), &bfResp); code != 200 {
+		t.Fatalf("second backfill batch = %d", code)
+	}
+	if bfResp["backfill_pending"].(float64) != 3 {
+		t.Fatalf("backfill_pending = %v, want 3 across batches", bfResp["backfill_pending"])
+	}
+	if got := dix.Metrics().WALRecords; got != walBefore {
+		t.Fatalf("backfill wrote %d WAL records, want 0", got-walBefore)
+	}
+	// Visible in memory immediately, flagged in metrics.
+	if code := doJSON(t, c, "GET", ts.URL+"/entities/bf1", nil, nil); code != 200 {
+		t.Fatal("backfilled entity not servable before commit")
+	}
+	var m map[string]any
+	doJSON(t, c, "GET", ts.URL+"/metrics", nil, &m)
+	if m["backfill_active"] != true || m["backfilled"].(float64) != 3 {
+		t.Fatalf("metrics = active %v, backfilled %v; want true and 3", m["backfill_active"], m["backfilled"])
+	}
+	// An explicit snapshot must refuse mid-session: no durable state may
+	// expose a partial backfill.
+	if code := doJSON(t, c, "POST", ts.URL+"/snapshot", nil, nil); code != 500 {
+		t.Fatalf("POST /snapshot during backfill = %d, want 500", code)
+	}
+
+	// Crash before the barrier: only the logged write survives.
+	crash := t.TempDir()
+	copyWalDir(t, dir, crash)
+	r, _, err := genlinkapi.OpenDurableIndex(crash, nil, genlinkapi.DurableIndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Get("bf1") != nil || r.Get("bf3") != nil {
+		t.Fatal("pre-commit crash recovered backfilled entities")
+	}
+	if r.Get("logged1") == nil {
+		t.Fatal("pre-commit crash lost the acknowledged logged write")
+	}
+	r.Close()
+
+	// Commit: the barrier makes the load durable in one snapshot.
+	var commitResp map[string]any
+	if code := doJSON(t, c, "POST", ts.URL+"/backfill/commit", nil, &commitResp); code != 200 {
+		t.Fatalf("POST /backfill/commit = %d", code)
+	}
+	if commitResp["committed"].(float64) != 3 {
+		t.Fatalf("commit response = %v, want committed:3", commitResp)
+	}
+	doJSON(t, c, "GET", ts.URL+"/metrics", nil, &m)
+	if m["backfill_active"] != false {
+		t.Fatal("backfill_active still true after commit")
+	}
+
+	// Crash after the barrier: everything recovers from the snapshot
+	// alone — the load never touched the log.
+	ts.Close()
+	if err := dix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, stats, err := genlinkapi.OpenDurableIndex(dir, nil, genlinkapi.DurableIndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if stats.RecordsReplayed != 0 {
+		t.Fatalf("post-commit recovery replayed %d records, want 0", stats.RecordsReplayed)
+	}
+	for _, id := range []string{"logged1", "bf1", "bf2", "bf3"} {
+		if r2.Get(id) == nil {
+			t.Fatalf("post-commit recovery lost %s", id)
+		}
+	}
+}
+
+// TestBackfillWithoutWALDir pins the 409 contract: without -wal-dir
+// there is no durability barrier, so backfill mode is refused rather
+// than silently degrading to a plain in-memory apply.
+func TestBackfillWithoutWALDir(t *testing.T) {
+	ts, _ := newTestServer(t)
+	c := ts.Client()
+	if code := doJSON(t, c, "POST", ts.URL+"/entities?backfill=1", entityJSON("x", "Grace Hopper", "compilers"), nil); code != 409 {
+		t.Fatalf("backfill without -wal-dir = %d, want 409", code)
+	}
+	if code := doJSON(t, c, "POST", ts.URL+"/backfill/commit", nil, nil); code != 409 {
+		t.Fatalf("commit without -wal-dir = %d, want 409", code)
+	}
+}
+
+// copyWalDir snapshots a live WAL directory into dst, simulating the
+// on-disk state a crash would leave behind.
+func copyWalDir(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
 }

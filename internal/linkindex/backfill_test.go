@@ -1,0 +1,199 @@
+package linkindex_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"genlink/internal/entity"
+	"genlink/internal/linkindex"
+)
+
+// backfillEntities builds a corpus of fresh IDs disjoint from the
+// testBatches p* pool.
+func backfillEntities(n int) []*entity.Entity {
+	names := []string{"Grace Hopper", "Alan Turing", "Ada Lovelace"}
+	titles := []string{"compilers", "computability", "lisp"}
+	out := make([]*entity.Entity, n)
+	for i := range out {
+		out[i] = ent(fmt.Sprintf("bf%d", i), names[i%len(names)], titles[i%len(titles)])
+	}
+	return out
+}
+
+// TestBackfillCrashContract is the snapshot-barrier differential: a
+// crash before Commit recovers the pre-backfill state (plus acknowledged
+// logged writes — logged Apply keeps its durability contract during the
+// session), and a crash after Commit recovers every backfilled entity.
+// Snapshots are suppressed while the session is open, so no intermediate
+// durable state can expose a partial backfill.
+func TestBackfillCrashContract(t *testing.T) {
+	const shards = 3
+	dir := t.TempDir()
+	d, err := linkindex.NewDurable(dir, linkindex.NewSharded(testRule(), shards, durableOpts()),
+		linkindex.DurableOptions{Fsync: linkindex.FsyncBatch, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	logged := testBatches(10, 21)
+	for _, b := range logged {
+		if _, err := d.Apply(cloneBatch(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bf, err := d.BeginBackfill()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Backfilling() {
+		t.Fatal("Backfilling() = false with an open session")
+	}
+	if _, err := d.BeginBackfill(); !errors.Is(err, linkindex.ErrBackfillActive) {
+		t.Fatalf("second BeginBackfill error = %v, want ErrBackfillActive", err)
+	}
+	if err := d.Snapshot(); !errors.Is(err, linkindex.ErrBackfillActive) {
+		t.Fatalf("Snapshot during session error = %v, want ErrBackfillActive", err)
+	}
+
+	walBefore := d.Metrics().WALRecords
+	n, err := bf.BulkLoad(backfillEntities(50))
+	if err != nil || n != 50 {
+		t.Fatalf("BulkLoad = %d, %v; want 50", n, err)
+	}
+	if bf.Loaded() != 50 {
+		t.Fatalf("Loaded() = %d, want 50", bf.Loaded())
+	}
+	if got := d.Metrics().WALRecords; got != walBefore {
+		t.Fatalf("backfill wrote %d WAL records, want 0", got-walBefore)
+	}
+	if d.Get("bf0") == nil {
+		t.Fatal("backfilled entity not visible in memory")
+	}
+
+	// A logged write during the session keeps its own durability.
+	if err := d.Add(ent("live1", "Grace Hopper", "compilers")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash before the barrier: recovery must see the logged state only.
+	crash := copyDir(t, dir)
+	r, _, err := linkindex.Recover(crash, linkindex.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Get("bf0") != nil || r.Get("bf49") != nil {
+		t.Fatal("pre-barrier crash recovered backfilled entities")
+	}
+	if r.Get("live1") == nil {
+		t.Fatal("pre-barrier crash lost an acknowledged logged write")
+	}
+	want := referenceIndex(logged, len(logged), shards)
+	want.Add(ent("live1", "Grace Hopper", "compilers"))
+	compareIndexes(t, "pre-barrier crash", r.Index(), want)
+	r.Close()
+
+	// Commit is the barrier: afterwards a crash recovers everything, the
+	// session is closed, and snapshots work again.
+	if err := bf.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Backfilling() {
+		t.Fatal("Backfilling() = true after Commit")
+	}
+	if _, err := bf.Apply(linkindex.Batch{}); err == nil {
+		t.Fatal("Apply on a committed session succeeded")
+	}
+	if err := bf.Commit(); err == nil {
+		t.Fatal("double Commit succeeded")
+	}
+	if err := d.Snapshot(); err != nil {
+		t.Fatalf("Snapshot after Commit: %v", err)
+	}
+	crash = copyDir(t, dir)
+	r2, stats, err := linkindex.Recover(crash, linkindex.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if stats.RecordsReplayed != 0 {
+		t.Fatalf("post-barrier recovery replayed %d records, want 0 (snapshot covers all)", stats.RecordsReplayed)
+	}
+	compareIndexes(t, "post-barrier crash", r2.Index(), d.Index())
+}
+
+// TestBackfillAbort pins Abort semantics: the session closes without a
+// barrier, snapshots re-enable, and the applied entities — visible in
+// memory — become durable only at the next snapshot.
+func TestBackfillAbort(t *testing.T) {
+	dir := t.TempDir()
+	d, err := linkindex.NewDurable(dir, linkindex.NewSharded(testRule(), 2, durableOpts()),
+		linkindex.DurableOptions{Fsync: linkindex.FsyncBatch, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	bf, err := d.BeginBackfill()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bf.BulkLoad(backfillEntities(5)); err != nil {
+		t.Fatal(err)
+	}
+	bf.Abort()
+	if d.Backfilling() {
+		t.Fatal("Backfilling() = true after Abort")
+	}
+	// Not durable yet: a crash now loses the aborted load.
+	r, _, err := linkindex.Recover(copyDir(t, dir), linkindex.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("aborted backfill leaked %d entities into recovery", r.Len())
+	}
+	r.Close()
+	// The next snapshot persists the in-memory state, aborted load included.
+	if err := d.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := linkindex.Recover(copyDir(t, dir), linkindex.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.Len() != 5 {
+		t.Fatalf("post-abort snapshot recovered %d entities, want 5", r2.Len())
+	}
+}
+
+// TestBulkBackfillOneShot pins the convenience wrapper: load, barrier,
+// recover — nothing through the WAL.
+func TestBulkBackfillOneShot(t *testing.T) {
+	dir := t.TempDir()
+	d, err := linkindex.NewDurable(dir, linkindex.NewSharded(testRule(), 2, durableOpts()),
+		linkindex.DurableOptions{Fsync: linkindex.FsyncBatch, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := d.BulkBackfill(backfillEntities(30))
+	if err != nil || n != 30 {
+		t.Fatalf("BulkBackfill = %d, %v; want 30", n, err)
+	}
+	if m := d.Metrics(); m.WALRecords != 0 {
+		t.Fatalf("BulkBackfill logged %d WAL records, want 0", m.WALRecords)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, stats, err := linkindex.Recover(dir, linkindex.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 30 || stats.RecordsReplayed != 0 {
+		t.Fatalf("recovered Len=%d replayed=%d, want 30 entities from the barrier snapshot alone", r.Len(), stats.RecordsReplayed)
+	}
+	compareIndexes(t, "one-shot backfill", r.Index(), d.Index())
+}

@@ -53,7 +53,8 @@ type DurableIndex struct {
 	recordsSinceSnap atomic.Int64
 	lastSnapSeq      atomic.Uint64
 	snapshotting     atomic.Bool
-	snapMu           sync.Mutex // serializes snapshot file writes + compaction
+	backfilling      atomic.Bool // open Backfill session: snapshots suppressed
+	snapMu           sync.Mutex  // serializes snapshot file writes + compaction
 
 	stop chan struct{}
 	done chan struct{}
@@ -86,6 +87,13 @@ type DurableOptions struct {
 	// Stream enables the streaming query path on the recovered index
 	// (see RestoreOptions.Stream). Execution mode, never persisted.
 	Stream bool
+	// RecoveryParallelism selects the WAL replay path: 0 (the default)
+	// uses the shard-parallel decode-ahead pipeline when goroutines can
+	// actually run in parallel, 1 forces the sequential reference path,
+	// and values > 1 force the pipeline regardless of GOMAXPROCS. Both
+	// paths recover identical state (differentially pinned); this is a
+	// performance knob, not a semantics knob.
+	RecoveryParallelism int
 	// Logf, when set, receives diagnostics from background snapshots
 	// and recovery fallbacks (e.g. log.Printf).
 	Logf func(format string, args ...any)
@@ -127,6 +135,9 @@ type RecoveryStats struct {
 	// Torn reports that the log ended in a torn or corrupt record,
 	// which recovery discarded.
 	Torn bool
+	// ParallelReplay reports that the log tail was replayed through the
+	// shard-parallel pipeline rather than the sequential reference path.
+	ParallelReplay bool
 	// Duration is the wall-clock recovery time.
 	Duration time.Duration
 }
@@ -241,14 +252,32 @@ func Recover(dir string, o DurableOptions) (*DurableIndex, RecoveryStats, error)
 		return nil, stats, fmt.Errorf("linkindex: recover: no readable snapshot in %s", dir)
 	}
 
+	// Replay the log tail. The parallel path keeps read+CRC+decode in
+	// the replayWAL goroutine and fans per-shard ops out to apply
+	// workers; the sequential path decodes and applies inline. Either
+	// way a record that fails to decode stops the scan as a torn tail
+	// before any of its ops are applied.
+	parallel := useParallelReplay(o.RecoveryParallelism)
+	var replayer *parallelReplayer
+	if parallel {
+		replayer = newParallelReplayer(ix)
+	}
 	scan, err := replayWAL(dir, base.seq, func(seq uint64, payload []byte) error {
 		var b walBatch
 		if err := json.Unmarshal(payload, &b); err != nil {
 			return err
 		}
-		ix.Apply(Batch{Upserts: b.Upserts, Deletes: b.Deletes})
+		batch := Batch{Upserts: b.Upserts, Deletes: b.Deletes}
+		if parallel {
+			replayer.apply(batch)
+		} else {
+			ix.Apply(batch)
+		}
 		return nil
 	})
+	if replayer != nil {
+		replayer.wait()
+	}
 	if err != nil {
 		return nil, stats, err
 	}
@@ -269,6 +298,7 @@ func Recover(dir string, o DurableOptions) (*DurableIndex, RecoveryStats, error)
 		SnapshotSeq:     base.seq,
 		RecordsReplayed: scan.Records,
 		Torn:            scan.Torn,
+		ParallelReplay:  parallel,
 		Duration:        time.Since(t0),
 	}
 	return d, stats, nil
@@ -310,7 +340,9 @@ func (d *DurableIndex) start() {
 				return
 			case <-t.C:
 				if d.recordsSinceSnap.Load() > 0 {
-					if err := d.Snapshot(); err != nil && !errors.Is(err, errWALClosed) {
+					// ErrBackfillActive is expected while a session is open;
+					// the ticker retries after the session's own barrier.
+					if err := d.Snapshot(); err != nil && !errors.Is(err, errWALClosed) && !errors.Is(err, ErrBackfillActive) {
 						d.opts.logf("auto-snapshot: %v", err)
 					}
 				}
@@ -358,7 +390,7 @@ func (d *DurableIndex) maybeSnapshotAsync() {
 	}
 	go func() {
 		defer d.snapshotting.Store(false)
-		if err := d.Snapshot(); err != nil && !errors.Is(err, errWALClosed) {
+		if err := d.Snapshot(); err != nil && !errors.Is(err, errWALClosed) && !errors.Is(err, ErrBackfillActive) {
 			d.opts.logf("auto-snapshot: %v", err)
 		}
 	}()
@@ -391,10 +423,16 @@ func (d *DurableIndex) BulkLoad(entities []*entity.Entity) (int, error) {
 // directory, rotates the active segment, and compacts: log segments
 // fully covered by the snapshot are deleted, and only the two newest
 // snapshots are kept. Writers are blocked only while the state is
-// captured, not while it is serialized to disk.
+// captured, not while it is serialized to disk. While a backfill
+// session is open Snapshot fails with ErrBackfillActive — a snapshot
+// taken mid-session would make a partial backfill durable; commit the
+// session instead (Backfill.Commit is exactly this snapshot).
 func (d *DurableIndex) Snapshot() error {
 	d.snapMu.Lock()
 	defer d.snapMu.Unlock()
+	if d.backfilling.Load() {
+		return ErrBackfillActive
+	}
 	return d.snapshotLocked()
 }
 

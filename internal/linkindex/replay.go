@@ -1,0 +1,86 @@
+package linkindex
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file implements the shard-parallel WAL replay pipeline used by
+// Recover. The sequential reference path decodes and applies one record
+// at a time in the replay callback; the parallel path keeps the
+// read+CRC+decode work in the reader goroutine (replayWAL's callback)
+// and hands the partitioned per-shard ops to one apply worker per shard
+// over bounded channels, so decoding runs ahead of index building.
+//
+// Soundness: recovery correctness requires apply order ≡ log order per
+// entity ID. An ID hashes to exactly one shard, every record's ops for
+// that shard flow through that shard's single channel in log order, and
+// one worker drains the channel in order — so per-ID apply order is
+// exactly log order, while different shards (disjoint ID sets) apply
+// concurrently. partitionBatch is the same batch-resolution step Apply
+// uses, so within-record semantics (last upsert wins, delete beats
+// upsert) are shared, not reimplemented. The recovery-equivalence
+// differential test pins parallel ≡ sequential replay exactly.
+
+// replayQueueDepth bounds each shard's decoded-but-unapplied backlog so
+// the decode-ahead reader cannot buffer an arbitrarily long log tail in
+// memory when one shard's apply worker falls behind.
+const replayQueueDepth = 64
+
+// parallelReplayer fans decoded WAL batches out to per-shard apply
+// workers. Feed it from a single goroutine via apply; wait closes the
+// queues and blocks until every queued op is installed.
+type parallelReplayer struct {
+	ix  *ShardedIndex
+	chs []chan *shardOps
+	wg  sync.WaitGroup
+}
+
+func newParallelReplayer(ix *ShardedIndex) *parallelReplayer {
+	r := &parallelReplayer{ix: ix, chs: make([]chan *shardOps, ix.Shards())}
+	for si := range r.chs {
+		ch := make(chan *shardOps, replayQueueDepth)
+		r.chs[si] = ch
+		r.wg.Add(1)
+		go func(si int, ch <-chan *shardOps) {
+			defer r.wg.Done()
+			for g := range ch {
+				r.ix.applyShardOps(si, g)
+			}
+		}(si, ch)
+	}
+	return r
+}
+
+// apply partitions one decoded record and enqueues its per-shard ops.
+// Records must be fed in log order from one goroutine.
+func (r *parallelReplayer) apply(b Batch) {
+	for si, g := range r.ix.partitionBatch(b) {
+		r.chs[si] <- g
+	}
+}
+
+// wait closes the shard queues and blocks until the workers drain them.
+// The replayer must not be reused afterwards.
+func (r *parallelReplayer) wait() {
+	for _, ch := range r.chs {
+		close(ch)
+	}
+	r.wg.Wait()
+}
+
+// useParallelReplay resolves DurableOptions.RecoveryParallelism against
+// the runtime: 1 forces the sequential reference path, values > 1 force
+// the pipeline (tests and benches use this to exercise it even on one
+// CPU), and 0 picks the pipeline exactly when goroutines can actually
+// run in parallel — on a single-CPU runtime the pipeline is pure
+// channel overhead.
+func useParallelReplay(parallelism int) bool {
+	if parallelism == 1 {
+		return false
+	}
+	if parallelism > 1 {
+		return true
+	}
+	return runtime.GOMAXPROCS(0) > 1
+}

@@ -215,29 +215,27 @@ type ApplyResult struct {
 	Deleted int
 }
 
-// Apply installs a batch of upserts and deletes: writes are grouped per
-// shard, shards are written in parallel, and each shard takes its write
-// lock exactly once — old versions leave the block structures through the
-// bulk-remove fast path and new versions enter through the BulkAdder
-// append-then-sort path, so a batched upsert never pays the per-record
-// sorted-neighborhood memmove of repeated Adds. Per shard the batch is
-// atomic with respect to queries; across shards there is no global
-// barrier (see the isolation notes on ShardedIndex).
-func (ix *ShardedIndex) Apply(b Batch) ApplyResult {
-	// Resolve the batch to one final op per ID, preserving first-seen
-	// upsert order within each shard for determinism.
-	type group struct {
-		upserts []*entity.Entity
-		pos     map[string]int
-		deletes []string
-	}
-	groups := make(map[*shard]*group)
-	groupFor := func(id string) *group {
-		sh := ix.shardFor(id)
-		g := groups[sh]
+// shardOps is one shard's resolved slice of a Batch: the final op per ID
+// in first-seen upsert order (a nil upsert slot marks an ID a later
+// delete won over).
+type shardOps struct {
+	upserts []*entity.Entity
+	pos     map[string]int
+	deletes []string
+}
+
+// partitionBatch resolves a batch to one final op per ID — later upsert
+// occurrences win, a delete beats an upsert of the same ID — grouped by
+// the owning shard index. Parallel recovery and snapshot restore reuse it
+// so every bulk path shares Apply's batch semantics exactly.
+func (ix *ShardedIndex) partitionBatch(b Batch) map[int]*shardOps {
+	groups := make(map[int]*shardOps)
+	groupFor := func(id string) *shardOps {
+		si := ix.ShardOf(id)
+		g := groups[si]
 		if g == nil {
-			g = &group{pos: make(map[string]int)}
-			groups[sh] = g
+			g = &shardOps{pos: make(map[string]int)}
+			groups[si] = g
 		}
 		return g
 	}
@@ -258,65 +256,90 @@ func (ix *ShardedIndex) Apply(b Batch) ApplyResult {
 		}
 		g.deletes = append(g.deletes, id)
 	}
+	return groups
+}
 
+// applyShardOps installs one shard's resolved ops under its write lock —
+// old versions leave the block structures through the bulk-remove fast
+// path, new versions enter through the BulkAdder append-then-sort path —
+// and reports the distinct upserts and deletes performed. Callers may
+// run it concurrently for different shards; per shard it is atomic with
+// respect to queries.
+func (ix *ShardedIndex) applyShardOps(si int, g *shardOps) (upserted, deleted int) {
+	sh := ix.shards[si]
+	fresh := g.upserts[:0]
+	for _, e := range g.upserts {
+		if e != nil {
+			fresh = append(fresh, e)
+		}
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var olds []*entity.Entity
+	seenDel := make(map[string]struct{}, len(g.deletes))
+	for _, id := range g.deletes {
+		if _, dup := seenDel[id]; dup {
+			continue
+		}
+		seenDel[id] = struct{}{}
+		if old, ok := sh.entities[id]; ok {
+			olds = append(olds, old)
+			delete(sh.entities, id)
+			sh.scorer.Invalidate(old)
+			deleted++
+			ix.count.Add(-1)
+		}
+	}
+	for _, e := range fresh {
+		if old, ok := sh.entities[e.ID]; ok {
+			olds = append(olds, old)
+			sh.scorer.Invalidate(old)
+		} else {
+			ix.count.Add(1)
+		}
+	}
+	bulkRemove(sh.blocks, olds)
+	for _, e := range fresh {
+		sh.entities[e.ID] = e
+		sh.scorer.Invalidate(e)
+	}
+	bulkAdd(sh.blocks, fresh)
+	return len(fresh), deleted
+}
+
+// Apply installs a batch of upserts and deletes: writes are grouped per
+// shard, shards are written in parallel, and each shard takes its write
+// lock exactly once — old versions leave the block structures through the
+// bulk-remove fast path and new versions enter through the BulkAdder
+// append-then-sort path, so a batched upsert never pays the per-record
+// sorted-neighborhood memmove of repeated Adds. Per shard the batch is
+// atomic with respect to queries; across shards there is no global
+// barrier (see the isolation notes on ShardedIndex).
+func (ix *ShardedIndex) Apply(b Batch) ApplyResult {
+	groups := ix.partitionBatch(b)
 	var (
 		upserted atomic.Int64
 		deleted  atomic.Int64
 	)
-	applyShard := func(sh *shard, g *group) {
-		fresh := g.upserts[:0]
-		for _, e := range g.upserts {
-			if e != nil {
-				fresh = append(fresh, e)
-			}
-		}
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
-		var olds []*entity.Entity
-		seenDel := make(map[string]struct{}, len(g.deletes))
-		for _, id := range g.deletes {
-			if _, dup := seenDel[id]; dup {
-				continue
-			}
-			seenDel[id] = struct{}{}
-			if old, ok := sh.entities[id]; ok {
-				olds = append(olds, old)
-				delete(sh.entities, id)
-				sh.scorer.Invalidate(old)
-				deleted.Add(1)
-				ix.count.Add(-1)
-			}
-		}
-		for _, e := range fresh {
-			if old, ok := sh.entities[e.ID]; ok {
-				olds = append(olds, old)
-				sh.scorer.Invalidate(old)
-			} else {
-				ix.count.Add(1)
-			}
-		}
-		bulkRemove(sh.blocks, olds)
-		for _, e := range fresh {
-			sh.entities[e.ID] = e
-			sh.scorer.Invalidate(e)
-		}
-		bulkAdd(sh.blocks, fresh)
-		upserted.Add(int64(len(fresh)))
+	run := func(si int, g *shardOps) {
+		u, d := ix.applyShardOps(si, g)
+		upserted.Add(int64(u))
+		deleted.Add(int64(d))
 	}
 	// Like fanOut: parallel shard writes only buy wall-clock when the
 	// runtime can run them in parallel; otherwise apply in place.
 	if len(groups) == 1 || runtime.GOMAXPROCS(0) == 1 {
-		for sh, g := range groups {
-			applyShard(sh, g)
+		for si, g := range groups {
+			run(si, g)
 		}
 	} else {
 		var wg sync.WaitGroup
-		for sh, g := range groups {
+		for si, g := range groups {
 			wg.Add(1)
-			go func(sh *shard, g *group) {
+			go func(si int, g *shardOps) {
 				defer wg.Done()
-				applyShard(sh, g)
-			}(sh, g)
+				run(si, g)
+			}(si, g)
 		}
 		wg.Wait()
 	}

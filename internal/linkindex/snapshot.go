@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"time"
 
 	"genlink/internal/entity"
@@ -14,54 +16,145 @@ import (
 )
 
 // SnapshotVersion is the format version WriteSnapshot emits. Readers
-// reject snapshots with a different version instead of guessing at their
+// accept v1 and v2 and reject anything newer instead of guessing at its
 // layout.
-const SnapshotVersion = 1
+//
+// A v2 snapshot is a stream of JSON values separated by newlines: one
+// header (version, shard count, blocker, threshold, rule, and the number
+// of sections that follow) and then one section per shard, each holding
+// that shard's slice of the corpus sorted by ID. Sections are
+// independently decodable, so both sides of the round trip parallelize:
+// writing marshals every section concurrently and restoring decodes and
+// index-builds sections concurrently. A v1 snapshot is a single JSON
+// object with the whole corpus inline in the header; readers still
+// accept it. Block structures are NOT persisted in either version; they
+// are deterministic functions of (blocker, corpus) and are rebuilt
+// through the bulk-load path on restore, which is both simpler and
+// robust against block-structure layout changes between versions.
+const SnapshotVersion = 2
 
-// snapshotFile is the on-disk snapshot layout: everything needed to
-// rebuild an equivalent index — the corpus, the rule and the options.
-// Block structures are NOT persisted; they are deterministic functions of
-// (blocker, corpus) and are rebuilt through the bulk-load path on
-// restore, which is both simpler and robust against block-structure
-// layout changes between versions.
-type snapshotFile struct {
-	Version      int              `json:"version"`
-	Created      string           `json:"created,omitempty"`
-	Shards       int              `json:"shards"`
-	Blocker      string           `json:"blocker,omitempty"`
-	Threshold    float64          `json:"threshold"`
-	MaxBlockSize int              `json:"max_block_size"`
-	Rule         *rule.Rule       `json:"rule"`
-	Entities     []*entity.Entity `json:"entities"`
+// maxSnapshotSections rejects absurd section counts decoded from a
+// corrupt header before they turn into a giant allocation.
+const maxSnapshotSections = 1 << 20
+
+// snapshotHeader is the first JSON value of a snapshot. In v2 the corpus
+// follows in Sections per-shard section values; in v1 it is inline in
+// Entities and Sections is absent.
+type snapshotHeader struct {
+	Version      int        `json:"version"`
+	Created      string     `json:"created,omitempty"`
+	Shards       int        `json:"shards"`
+	Blocker      string     `json:"blocker,omitempty"`
+	Threshold    float64    `json:"threshold"`
+	MaxBlockSize int        `json:"max_block_size"`
+	Rule         *rule.Rule `json:"rule"`
+	// Sections counts the per-shard section values following the header
+	// (v2 only).
+	Sections int `json:"sections,omitempty"`
+	// Entities is the whole corpus inline (v1 only).
+	Entities []*entity.Entity `json:"entities,omitempty"`
+}
+
+// snapshotSection is one shard's slice of the corpus. Shard records the
+// writer's shard assignment for humans and tools; restore re-partitions
+// by ID anyway (the shard count may be overridden), so readers do not
+// trust it.
+type snapshotSection struct {
+	Shard    int              `json:"shard"`
+	Entities []*entity.Entity `json:"entities"`
+}
+
+// snapshotCapture is an in-memory snapshot: the header plus every
+// section, captured under the shard locks and serialized later.
+type snapshotCapture struct {
+	header   snapshotHeader
+	sections []snapshotSection
+}
+
+// buildSnapshot captures the snapshot state: per shard, the corpus slice
+// (entity pointers — immutable once stored, so the capture stays
+// consistent while it is serialized later) sorted by ID, plus the rule
+// and the options. Each shard is read under its lock; see the isolation
+// notes on ShardedIndex for cross-shard semantics under concurrent
+// writes.
+func (ix *ShardedIndex) buildSnapshot() *snapshotCapture {
+	snap := &snapshotCapture{
+		header: snapshotHeader{
+			Version:      SnapshotVersion,
+			Created:      time.Now().UTC().Format(time.RFC3339),
+			Shards:       len(ix.shards),
+			Blocker:      matching.RegistryName(ix.opts.Blocker),
+			Threshold:    ix.opts.Threshold,
+			MaxBlockSize: ix.opts.MaxBlockSize,
+			Rule:         ix.rule,
+			Sections:     len(ix.shards),
+		},
+		sections: make([]snapshotSection, len(ix.shards)),
+	}
+	for i, sh := range ix.shards {
+		sh.mu.RLock()
+		ents := make([]*entity.Entity, 0, len(sh.entities))
+		for _, e := range sh.entities {
+			ents = append(ents, e)
+		}
+		sh.mu.RUnlock()
+		sortByID(ents)
+		snap.sections[i] = snapshotSection{Shard: i, Entities: ents}
+	}
+	return snap
+}
+
+// encode serializes the capture to w: the header value, then each
+// section value, newline-separated. Sections are marshaled in parallel
+// (they are independent by construction) and written in shard order.
+func (snap *snapshotCapture) encode(w io.Writer) error {
+	blobs := make([][]byte, 1+len(snap.sections))
+	errs := make([]error, len(blobs))
+	marshal := func(i int) {
+		if i == 0 {
+			blobs[0], errs[0] = json.Marshal(&snap.header)
+		} else {
+			blobs[i], errs[i] = json.Marshal(&snap.sections[i-1])
+		}
+	}
+	// Like fanOut: parallel marshaling only buys wall-clock when the
+	// runtime can run goroutines in parallel.
+	if len(blobs) == 1 || runtime.GOMAXPROCS(0) == 1 {
+		for i := range blobs {
+			marshal(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(len(blobs))
+		for i := range blobs {
+			go func(i int) {
+				defer wg.Done()
+				marshal(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("linkindex: snapshot: %w", err)
+		}
+		if _, err := w.Write(blobs[i]); err != nil {
+			return fmt.Errorf("linkindex: snapshot: %w", err)
+		}
+		if _, err := w.Write([]byte{'\n'}); err != nil {
+			return fmt.Errorf("linkindex: snapshot: %w", err)
+		}
+	}
+	return nil
 }
 
 // WriteSnapshot writes a versioned snapshot of the index — corpus, rule,
-// and options — as JSON. The blocker is recorded by its registry name
+// and options — as newline-separated JSON values (see SnapshotVersion
+// for the layout). The blocker is recorded by its registry name
 // (matching.RegistryName); an index over a custom, non-registry blocker
 // still snapshots, but restoring it requires RestoreOptions.Blocker.
-// Each shard is read under its lock; see the isolation notes on
-// ShardedIndex for cross-shard semantics under concurrent writes.
 func (ix *ShardedIndex) WriteSnapshot(w io.Writer) error {
-	snap := ix.buildSnapshot()
-	enc := json.NewEncoder(w)
-	return enc.Encode(snap)
-}
-
-// buildSnapshot captures the snapshot state: the corpus (entity pointers
-// — immutable once stored, so the capture stays consistent while it is
-// serialized later), the rule and the options. Each shard is read under
-// its lock.
-func (ix *ShardedIndex) buildSnapshot() *snapshotFile {
-	return &snapshotFile{
-		Version:      SnapshotVersion,
-		Created:      time.Now().UTC().Format(time.RFC3339),
-		Shards:       len(ix.shards),
-		Blocker:      matching.RegistryName(ix.opts.Blocker),
-		Threshold:    ix.opts.Threshold,
-		MaxBlockSize: ix.opts.MaxBlockSize,
-		Rule:         ix.rule,
-		Entities:     ix.Entities(),
-	}
+	return ix.buildSnapshot().encode(w)
 }
 
 // SnapshotTo writes a snapshot to path atomically: the snapshot is
@@ -73,16 +166,16 @@ func (ix *ShardedIndex) SnapshotTo(path string) error {
 
 // writeSnapshotFile writes a captured snapshot to path atomically
 // (temp file + fsync + rename + directory fsync).
-func writeSnapshotFile(path string, snap *snapshotFile) error {
+func writeSnapshotFile(path string, snap *snapshotCapture) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("linkindex: snapshot: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := json.NewEncoder(tmp).Encode(snap); err != nil {
+	if err := snap.encode(tmp); err != nil {
 		tmp.Close()
-		return fmt.Errorf("linkindex: snapshot: %w", err)
+		return err
 	}
 	// Flush data before the rename becomes visible: on journaled
 	// filesystems a rename can be made durable before the file's blocks,
@@ -126,42 +219,110 @@ type RestoreOptions struct {
 
 // ReadSnapshot rebuilds an index from a snapshot written by
 // WriteSnapshot: the rule is recompiled, the options reconstructed, and
-// the block structures rebuilt by bulk-loading the corpus.
+// the block structures rebuilt by bulk-loading the corpus. It reads both
+// the sectioned v2 format — sections are decoded and index-built in
+// parallel — and the single-object v1 format.
 func ReadSnapshot(r io.Reader, o RestoreOptions) (*ShardedIndex, error) {
-	var snap snapshotFile
-	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+	dec := json.NewDecoder(r)
+	var hdr snapshotHeader
+	if err := dec.Decode(&hdr); err != nil {
 		return nil, fmt.Errorf("linkindex: restore: %w", err)
 	}
-	if snap.Version != SnapshotVersion {
-		return nil, fmt.Errorf("linkindex: restore: snapshot version %d, this build reads %d", snap.Version, SnapshotVersion)
+	if hdr.Version != 1 && hdr.Version != SnapshotVersion {
+		return nil, fmt.Errorf("linkindex: restore: snapshot version %d, this build reads 1..%d", hdr.Version, SnapshotVersion)
 	}
-	if snap.Rule == nil {
+	if hdr.Rule == nil {
 		return nil, fmt.Errorf("linkindex: restore: snapshot has no rule")
 	}
-	bl := matching.BlockerByName(snap.Blocker)
+	bl := matching.BlockerByName(hdr.Blocker)
 	if bl == nil {
 		bl = o.Blocker
 	}
 	if bl == nil {
-		return nil, fmt.Errorf("linkindex: restore: blocker %q is not a registry strategy; supply RestoreOptions.Blocker", snap.Blocker)
+		return nil, fmt.Errorf("linkindex: restore: blocker %q is not a registry strategy; supply RestoreOptions.Blocker", hdr.Blocker)
 	}
-	shards := snap.Shards
+	shards := hdr.Shards
 	if o.Shards > 0 {
 		shards = o.Shards
 	}
-	for i, e := range snap.Entities {
-		if e == nil || e.ID == "" {
-			return nil, fmt.Errorf("linkindex: restore: entity %d has no id", i)
-		}
-	}
-	ix := NewSharded(snap.Rule, shards, matching.Options{
-		Threshold:    snap.Threshold,
-		MaxBlockSize: snap.MaxBlockSize,
+	ix := NewSharded(hdr.Rule, shards, matching.Options{
+		Threshold:    hdr.Threshold,
+		MaxBlockSize: hdr.MaxBlockSize,
 		Blocker:      bl,
 		Stream:       o.Stream,
 	})
-	ix.BulkLoad(snap.Entities)
+	if hdr.Version == 1 {
+		if err := validateSnapshotEntities(hdr.Entities); err != nil {
+			return nil, fmt.Errorf("linkindex: restore: %w", err)
+		}
+		ix.BulkLoad(hdr.Entities)
+		return ix, nil
+	}
+
+	// v2: slurp the raw section values in order (a cheap syntactic scan),
+	// then decode and install them in parallel — entity unmarshaling and
+	// block building dominate restore time. A valid snapshot's sections
+	// hold disjoint ID sets, so concurrent installs into the same
+	// destination shard commute (applyShardOps serializes on the shard
+	// lock), and re-partitioning by ID makes shard-count overrides work
+	// transparently.
+	if hdr.Sections < 0 || hdr.Sections > maxSnapshotSections {
+		return nil, fmt.Errorf("linkindex: restore: snapshot section count %d out of range", hdr.Sections)
+	}
+	raws := make([]json.RawMessage, hdr.Sections)
+	for i := range raws {
+		if err := dec.Decode(&raws[i]); err != nil {
+			return nil, fmt.Errorf("linkindex: restore: section %d: %w", i, err)
+		}
+	}
+	errs := make([]error, len(raws))
+	install := func(i int) {
+		var sec snapshotSection
+		if err := json.Unmarshal(raws[i], &sec); err != nil {
+			errs[i] = fmt.Errorf("linkindex: restore: section %d: %w", i, err)
+			return
+		}
+		if err := validateSnapshotEntities(sec.Entities); err != nil {
+			errs[i] = fmt.Errorf("linkindex: restore: section %d: %w", i, err)
+			return
+		}
+		for si, g := range ix.partitionBatch(Batch{Upserts: sec.Entities}) {
+			ix.applyShardOps(si, g)
+		}
+	}
+	if len(raws) <= 1 || runtime.GOMAXPROCS(0) == 1 {
+		for i := range raws {
+			install(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(len(raws))
+		for i := range raws {
+			go func(i int) {
+				defer wg.Done()
+				install(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	return ix, nil
+}
+
+// validateSnapshotEntities rejects corpus entries a valid writer can
+// never produce before they reach the index. Callers wrap the error with
+// their location context.
+func validateSnapshotEntities(ents []*entity.Entity) error {
+	for i, e := range ents {
+		if e == nil || e.ID == "" {
+			return fmt.Errorf("entity %d has no id", i)
+		}
+	}
+	return nil
 }
 
 // RestoreFrom rebuilds an index from a snapshot file written by

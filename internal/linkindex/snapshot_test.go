@@ -110,6 +110,47 @@ func TestSnapshotShardCountOverride(t *testing.T) {
 	}
 }
 
+// TestSnapshotV1Compat pins backward compatibility: a v1 snapshot — one
+// JSON object with the whole corpus inline — still restores into an
+// index answering identically to the live one, even though writers now
+// emit the sectioned v2 format.
+func TestSnapshotV1Compat(t *testing.T) {
+	r := diffRule()
+	rng := rand.New(rand.NewSource(5))
+	ix := linkindex.NewSharded(r, 3, matching.Options{Blocker: matching.TokenBlocking(), MaxBlockSize: -1})
+	for i := 0; i < 60; i++ {
+		ix.Add(diffEntity(rng, fmt.Sprintf("c%d", i)))
+	}
+	st := ix.Stats()
+	v1, err := json.Marshal(map[string]any{
+		"version":        1,
+		"shards":         3,
+		"blocker":        st.Blocker,
+		"threshold":      st.Threshold,
+		"max_block_size": -1,
+		"rule":           ix.Rule(),
+		"entities":       ix.Entities(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := linkindex.ReadSnapshot(bytes.NewReader(v1), linkindex.RestoreOptions{})
+	if err != nil {
+		t.Fatalf("v1 restore: %v", err)
+	}
+	if restored.Len() != ix.Len() || restored.Shards() != 3 {
+		t.Fatalf("v1 restore Len=%d Shards=%d, want %d and 3", restored.Len(), restored.Shards(), ix.Len())
+	}
+	for i := 0; i < 60; i += 7 {
+		id := fmt.Sprintf("c%d", i)
+		want, _ := ix.QueryID(id, 0)
+		got, ok := restored.QueryID(id, 0)
+		if !ok || !linksEqual(got, want) {
+			t.Fatalf("v1 restore QueryID(%s): got %v, want %v", id, got, want)
+		}
+	}
+}
+
 // TestSnapshotVersionAndBlockerErrors pins the failure modes: a future
 // format version is rejected rather than misread, and a snapshot of a
 // non-registry blocker restores only when RestoreOptions.Blocker names
@@ -139,13 +180,20 @@ func TestSnapshotVersionAndBlockerErrors(t *testing.T) {
 		t.Fatalf("restored Len = %d, want %d", restored.Len(), ix.Len())
 	}
 
-	// Version bump: reject.
+	// Version bump: reject. A v2 snapshot is newline-separated JSON
+	// values with the header first; mangle only the header line and keep
+	// the section values behind it intact.
+	hdrEnd := bytes.IndexByte(buf.Bytes(), '\n')
+	if hdrEnd < 0 {
+		t.Fatal("snapshot has no header line")
+	}
 	var raw map[string]json.RawMessage
-	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+	if err := json.Unmarshal(buf.Bytes()[:hdrEnd], &raw); err != nil {
 		t.Fatal(err)
 	}
 	raw["version"] = json.RawMessage("999")
-	mangled, _ := json.Marshal(raw)
+	mangledHdr, _ := json.Marshal(raw)
+	mangled := append(append(mangledHdr, '\n'), buf.Bytes()[hdrEnd+1:]...)
 	if _, err := linkindex.ReadSnapshot(bytes.NewReader(mangled), linkindex.RestoreOptions{Blocker: matching.TokenBlocking()}); err == nil || !strings.Contains(err.Error(), "version") {
 		t.Fatalf("future-version restore error = %v, want version rejection", err)
 	}

@@ -78,13 +78,23 @@ func levenshtein(a, b string) float64 {
 	if a == b {
 		return 0
 	}
+	d, _, _ := levenshteinLen(a, b)
+	return d
+}
+
+// levenshteinLen is levenshtein returning also the rune lengths of both
+// inputs: they fall out of the rune buffering the DP needs anyway, so
+// normalized variants get them without the two heap-allocating
+// len([]rune(x)) conversions. Callers handle the a == b fast path.
+func levenshteinLen(a, b string) (dist float64, la, lb int) {
 	var raBuf, rbBuf [levenshteinStack]rune
 	ra, rb := appendRunes(raBuf[:0], a), appendRunes(rbBuf[:0], b)
+	la, lb = len(ra), len(rb)
 	if len(ra) == 0 {
-		return float64(len(rb))
+		return float64(len(rb)), la, lb
 	}
 	if len(rb) == 0 {
-		return float64(len(ra))
+		return float64(len(ra)), la, lb
 	}
 	if len(ra) > len(rb) {
 		ra, rb = rb, ra
@@ -112,7 +122,7 @@ func levenshtein(a, b string) float64 {
 		}
 		prev, cur = cur, prev
 	}
-	return float64(prev[len(ra)])
+	return float64(prev[len(ra)]), la, lb
 }
 
 // appendRunes appends the runes of s to dst — rune decoding without the
@@ -128,14 +138,18 @@ func appendRunes(dst []rune, s string) []rune {
 // NormalizedLevenshtein returns levenshtein divided by the length of the
 // longer string, yielding a distance in [0,1]. Useful with thresholds < 1.
 func NormalizedLevenshtein() Measure {
-	return Func{MeasureName: "normLevenshtein", Single: func(a, b string) float64 {
-		la, lb := len([]rune(a)), len([]rune(b))
-		n := maxInt(la, lb)
-		if n == 0 {
-			return 0
-		}
-		return levenshtein(a, b) / float64(n)
-	}}
+	return Func{MeasureName: "normLevenshtein", Single: normalizedLevenshtein}
+}
+
+// normalizedLevenshtein gets the rune lengths from the same stack-
+// buffered pass that computes the distance (levenshteinLen), so it stays
+// allocation-free for inputs up to levenshteinStack runes.
+func normalizedLevenshtein(a, b string) float64 {
+	if a == b {
+		return 0 // covers the both-empty case where the length is 0
+	}
+	d, la, lb := levenshteinLen(a, b)
+	return d / float64(maxInt(la, lb)) // a != b ⇒ the longer is non-empty
 }
 
 // ---------------------------------------------------------------------------

@@ -309,6 +309,43 @@ func TestNormalizedLevenshteinBounds(t *testing.T) {
 	}
 }
 
+// TestNormalizedLevenshteinReference pins the fused levenshteinLen path
+// against the definitional form: levenshtein divided by the rune length
+// of the longer input.
+func TestNormalizedLevenshteinReference(t *testing.T) {
+	m := NormalizedLevenshtein()
+	matches := func(a, b string) bool {
+		la, lb := len([]rune(a)), len([]rune(b))
+		n := la
+		if lb > n {
+			n = lb
+		}
+		want := 0.0
+		if n > 0 {
+			want = levenshtein(a, b) / float64(n)
+		}
+		return dist1(m, a, b) == want
+	}
+	if err := quick.Check(matches, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLevenshteinAllocationFree pins the hot-path contract: for inputs
+// up to levenshteinStack runes — including the normalized variant, whose
+// length terms now come from the same stack-buffered pass instead of two
+// []rune conversions — a comparison performs zero heap allocations.
+func TestLevenshteinAllocationFree(t *testing.T) {
+	a := "entity matching with genetic programming"
+	b := "éntity matching with génetic programs"
+	if n := testing.AllocsPerRun(100, func() { levenshtein(a, b) }); n != 0 {
+		t.Errorf("levenshtein allocates %v times per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { normalizedLevenshtein(a, b) }); n != 0 {
+		t.Errorf("normalizedLevenshtein allocates %v times per run", n)
+	}
+}
+
 func TestHaversineProperties(t *testing.T) {
 	nonNegative := func(lat1, lon1, lat2, lon2 float64) bool {
 		// Constrain to valid ranges.

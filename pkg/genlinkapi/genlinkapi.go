@@ -150,7 +150,17 @@ type (
 	// FsyncPolicy selects when the write-ahead log makes acknowledged
 	// writes durable: FsyncBatch, FsyncInterval or FsyncOff.
 	FsyncPolicy = linkindex.FsyncPolicy
+	// BackfillSession is an open bulk-ingest session on a DurableIndex
+	// (DurableIndex.BeginBackfill): batches apply through the per-shard
+	// parallel pipeline without write-ahead logging, and Commit makes the
+	// whole load durable with one atomic snapshot barrier. A crash before
+	// Commit recovers the pre-backfill state.
+	BackfillSession = linkindex.Backfill
 )
+
+// ErrBackfillActive is returned by DurableIndex.Snapshot and
+// DurableIndex.BeginBackfill while a backfill session is open.
+var ErrBackfillActive = linkindex.ErrBackfillActive
 
 // Write-ahead-log fsync policies, in decreasing durability order: fsync
 // before acknowledging every batch; group-commit on a background
