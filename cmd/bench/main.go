@@ -30,10 +30,14 @@
 //     (unlogged, snapshot-barrier commit) vs WAL-logged ingest, and
 //     shard-parallel vs sequential WAL replay on the same crash state →
 //     the "backfill" section of BENCH_linkindex.json
+//   - replication: WAL shipping — leader write throughput with a live
+//     follower tailing the stream over HTTP, the follower's lag profile,
+//     catch-up time and the promote cost → the "replication" section of
+//     BENCH_linkindex.json
 //
 // BENCH_linkindex.json holds one JSON object with an "index", a "shard",
-// a "durability", a "stream" and a "backfill" section; each workload
-// rewrites its own section and preserves the others.
+// a "durability", a "stream", a "backfill" and a "replication" section;
+// each workload rewrites its own section and preserves the others.
 //
 // Usage:
 //
@@ -173,8 +177,17 @@ func main() {
 			n = 2
 		}
 		runBackfillWorkload(ds, *out, *blocker, *durBatch, n)
+	case "replication":
+		if *out == "" {
+			*out = "BENCH_linkindex.json"
+		}
+		n := *shards
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		runReplicationWorkload(ds, *out, *blocker, *durBatch, max(n, 1))
 	default:
-		log.Fatalf("unknown workload %q (available: engine, index, shard, durability, stream, backfill)", *workload)
+		log.Fatalf("unknown workload %q (available: engine, index, shard, durability, stream, backfill, replication)", *workload)
 	}
 }
 
@@ -437,7 +450,7 @@ func writeLinkIndexSection(out, section string, v any) {
 	if data, err := os.ReadFile(out); err == nil {
 		var existing map[string]json.RawMessage
 		if json.Unmarshal(data, &existing) == nil {
-			for _, key := range []string{"index", "shard", "durability", "stream", "backfill"} {
+			for _, key := range []string{"index", "shard", "durability", "stream", "backfill", "replication"} {
 				if raw, ok := existing[key]; ok {
 					sections[key] = raw
 				}

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"genlink/internal/entity"
+	"genlink/internal/linkindex"
+	"genlink/internal/matching"
+)
+
+// ReplicationReport is the "replication" section of BENCH_linkindex.json:
+// leader write throughput with a live follower tailing over HTTP, the
+// follower's lag profile under that load, catch-up time once writes stop,
+// and the cost of a promote.
+type ReplicationReport struct {
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	Dataset   string `json:"dataset"`
+	Blocker   string `json:"blocker"`
+	Entities  int    `json:"entities"`
+	BatchSize int    `json:"batch_size"`
+	Shards    int    `json:"shards"`
+
+	// LeaderWritesPerSec: entities/sec through the leader's logged Apply
+	// while the follower tails the stream.
+	LeaderWritesPerSec float64 `json:"leader_writes_per_sec"`
+	// Lag sampled on the follower every few ms during the load.
+	MaxLagRecords  int64   `json:"max_lag_records"`
+	MeanLagRecords float64 `json:"mean_lag_records"`
+	// CatchupMs: last leader Apply → follower applied == leader seq.
+	CatchupMs float64 `json:"catchup_ms"`
+	// EndToEndPerSec: entities/sec from first leader write to follower
+	// convergence — the replicated throughput of the pair.
+	EndToEndPerSec float64 `json:"end_to_end_entities_per_sec"`
+	// PromoteMs: stop tailing + promote-point snapshot.
+	PromoteMs float64 `json:"promote_ms"`
+
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+// runReplicationWorkload streams the dataset's B source through a leader
+// DurableIndex while a real follower tails it over HTTP (the same
+// snapshot-bootstrap + WAL-stream path genlinkd -follow uses), then
+// measures convergence and the promote flip. Fsync is off on both sides
+// so the numbers isolate the shipping pipeline, not the disk.
+func runReplicationWorkload(ds *entity.Dataset, out, blockerName string, batchSize, shards int) {
+	bl := matching.BlockerByName(blockerName)
+	if bl == nil {
+		log.Fatalf("unknown blocker %q (available: %v)", blockerName, matching.BlockerNames())
+	}
+	if batchSize <= 0 {
+		batchSize = 128
+	}
+	r := probeRule(ds)
+	corpus := ds.B.Entities
+	opts := matching.Options{Blocker: bl}
+	dopts := linkindex.DurableOptions{Fsync: linkindex.FsyncOff, SnapshotEvery: -1}
+
+	report := &ReplicationReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Dataset:   ds.Name,
+		Blocker:   bl.Name(),
+		Entities:  len(corpus),
+		BatchSize: batchSize,
+		Shards:    shards,
+		Speedups:  map[string]float64{},
+	}
+
+	leaderDir, err := os.MkdirTemp("", "genlink-bench-repl-leader-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(leaderDir)
+	leader, err := linkindex.NewDurable(leaderDir, linkindex.NewSharded(r, shards, opts), dopts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer leader.Close()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /wal/stream", leader.ServeWALStream)
+	mux.HandleFunc("GET /wal/snapshot", leader.ServeWALSnapshot)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	folDir, err := os.MkdirTemp("", "genlink-bench-repl-follower-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(folDir)
+	fol, err := linkindex.OpenFollower(linkindex.FollowerOptions{
+		Leader:  ts.URL,
+		Dir:     folDir,
+		Durable: dopts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fol.Stop()
+
+	// Sample follower lag while the load runs.
+	var (
+		sampleStop = make(chan struct{})
+		sampleDone = make(chan struct{})
+		maxLag     atomic.Int64
+		lagSum     atomic.Int64
+		lagN       atomic.Int64
+	)
+	go func() {
+		defer close(sampleDone)
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sampleStop:
+				return
+			case <-tick.C:
+				lag := int64(leader.AppliedSeq()) - int64(fol.Status().AppliedSeq)
+				if lag < 0 {
+					lag = 0
+				}
+				if lag > maxLag.Load() {
+					maxLag.Store(lag)
+				}
+				lagSum.Add(lag)
+				lagN.Add(1)
+			}
+		}
+	}()
+
+	t0 := time.Now()
+	for i := 0; i < len(corpus); i += batchSize {
+		hi := min(i+batchSize, len(corpus))
+		if _, err := leader.Apply(linkindex.Batch{Upserts: corpus[i:hi]}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	loadNs := float64(time.Since(t0).Nanoseconds())
+	report.LeaderWritesPerSec = float64(len(corpus)) / (loadNs / 1e9)
+
+	// Catch-up: writes stopped; wait for the follower to drain the stream.
+	tCatch := time.Now()
+	target := leader.AppliedSeq()
+	for fol.Status().AppliedSeq < target {
+		if time.Since(tCatch) > 2*time.Minute {
+			log.Fatalf("follower stuck at seq %d of %d", fol.Status().AppliedSeq, target)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	report.CatchupMs = float64(time.Since(tCatch).Microseconds()) / 1000
+	report.EndToEndPerSec = float64(len(corpus)) / time.Since(t0).Seconds()
+	close(sampleStop)
+	<-sampleDone
+	report.MaxLagRecords = maxLag.Load()
+	if n := lagN.Load(); n > 0 {
+		report.MeanLagRecords = float64(lagSum.Load()) / float64(n)
+	}
+	if got, want := fol.Index().Len(), leader.Index().Len(); got != want {
+		log.Fatalf("follower converged to %d entities, leader holds %d", got, want)
+	}
+	fmt.Printf("%-28s %10.0f entities/sec leader, %10.0f end-to-end\n",
+		"replication/ship", report.LeaderWritesPerSec, report.EndToEndPerSec)
+	fmt.Printf("%-28s %10d max, %8.1f mean records; catch-up %.1f ms\n",
+		"replication/lag", report.MaxLagRecords, report.MeanLagRecords, report.CatchupMs)
+
+	tProm := time.Now()
+	if err := fol.Promote(); err != nil {
+		log.Fatal(err)
+	}
+	report.PromoteMs = float64(time.Since(tProm).Microseconds()) / 1000
+	if _, err := fol.Durable().Apply(linkindex.Batch{Upserts: corpus[:1]}); err != nil {
+		log.Fatalf("write on promoted follower: %v", err)
+	}
+	fmt.Printf("%-28s %10.1f ms\n", "replication/promote", report.PromoteMs)
+
+	report.Speedups["end_to_end_vs_leader_writes"] = ratio(report.EndToEndPerSec, report.LeaderWritesPerSec)
+
+	writeLinkIndexSection(out, "replication", report)
+	fmt.Printf("\nreplicated pair runs at %.0f%% of leader-only throughput (max lag %d records) → %s\n",
+		100*report.Speedups["end_to_end_vs_leader_writes"], report.MaxLagRecords, out)
+}

@@ -10,6 +10,7 @@
 //	genlinkd -dataset Cora [-population 100] [-iterations 10]   # learn at startup, bulk-load side B
 //	genlinkd -rule rule.json -snapshot index.snap               # restore if present, flush on shutdown
 //	genlinkd -rule rule.json -wal-dir /var/lib/genlink          # crash-safe: WAL + auto-snapshots
+//	genlinkd -follow leader:8080 -wal-dir /var/lib/replica      # read replica: tail the leader's WAL
 //
 // The corpus is hash-partitioned over -shards partitions (0 means one
 // per CPU), so writes stall only the shard they touch and queries fan
@@ -37,6 +38,17 @@
 // the pre-backfill state (regular logged writes keep their own
 // durability throughout). Graceful shutdown commits an open session.
 //
+// With -follow the server is an asynchronous read replica: it bootstraps
+// from the leader's newest snapshot (or recovers its own local state and
+// re-tails from the last applied seq), then streams the leader's WAL
+// records into its own crash-safe log. Replicas serve every read
+// endpoint and reject writes with 403 + the leader's address;
+// GET /metrics reports applied_seq, replica_lag_records and
+// replica_lag_ms. POST /promote flips a replica to a leader: tailing
+// stops, a snapshot is cut at the promote point, writes are accepted.
+// When a replica falls behind the leader's log compaction it re-
+// bootstraps from the leader's snapshot automatically.
+//
 // -pprof serves net/http/pprof on a second, normally-loopback address so
 // the parallel ingest/recovery paths can be profiled in situ; it is off
 // by default and shares nothing with the service mux.
@@ -62,6 +74,11 @@
 //	                        probe's own record)
 //	POST   /snapshot        write a snapshot to the -snapshot path
 //	                        (409 if the server runs without -snapshot)
+//	GET    /wal/stream      stream committed WAL records from from_seq
+//	                        (replication wire; -wal-dir servers only)
+//	GET    /wal/snapshot    newest snapshot file, seq in X-Snapshot-Seq
+//	POST   /promote         flip a -follow replica to leader (409 on
+//	                        non-replicas)
 //	GET    /stats           corpus size, index keys, blocker, threshold,
 //	                        shard count and per-shard sizes
 //	GET    /metrics         expvar-style counters: entities, queries,
@@ -116,6 +133,7 @@ func main() {
 		fsyncInt   = flag.Duration("fsync-interval", 100*time.Millisecond, "group-commit period for -fsync interval")
 		autoSnap   = flag.Int("auto-snapshot", 10000, "auto-snapshot after this many WAL records (negative disables)")
 		autoSnapT  = flag.Duration("auto-snapshot-interval", 0, "also auto-snapshot on this interval when records arrived (0 disables)")
+		follow     = flag.String("follow", "", "run as a read replica of this leader address (requires -wal-dir; excludes -rule/-dataset/-snapshot)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; off when empty)")
 	)
 	flag.Parse()
@@ -128,12 +146,43 @@ func main() {
 	var (
 		ix       *genlinkapi.Index
 		dix      *genlinkapi.DurableIndex
+		fol      *genlinkapi.Follower
 		recovery genlinkapi.RecoveryStats
 		err      error
 	)
 	switch {
 	case *walDir != "" && *snapshot != "":
 		log.Fatal("-wal-dir and -snapshot are mutually exclusive (the WAL directory holds its own snapshots)")
+	case *follow != "":
+		if *walDir == "" {
+			log.Fatal("-follow requires -wal-dir (the follower keeps its own crash-safe copy of the log)")
+		}
+		if *ruleFile != "" || *dataset != "" {
+			log.Fatal("-follow is exclusive with -rule/-dataset: a replica's rule and corpus come from the leader's snapshot")
+		}
+		policy, ok := genlinkapi.FsyncPolicyByName(*fsync)
+		if !ok {
+			log.Fatalf("unknown -fsync policy %q (available: batch, interval, off)", *fsync)
+		}
+		fol, err = genlinkapi.OpenFollower(genlinkapi.FollowerOptions{
+			Leader: *follow,
+			Dir:    *walDir,
+			Durable: genlinkapi.DurableIndexOptions{
+				Fsync:            policy,
+				FsyncInterval:    *fsyncInt,
+				SnapshotEvery:    *autoSnap,
+				SnapshotInterval: *autoSnapT,
+				Shards:           *shards,
+				Stream:           *stream,
+				Logf:             log.Printf,
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dix = fol.Durable()
+		ix = fol.Index()
+		log.Printf("following %s from applied seq %d (%d entities)", fol.Leader(), fol.Status().AppliedSeq, ix.Len())
 	case *walDir != "":
 		policy, ok := genlinkapi.FsyncPolicyByName(*fsync)
 		if !ok {
@@ -171,6 +220,7 @@ func main() {
 
 	srv := newServer(ix, *k, *snapshot)
 	srv.dix = dix
+	srv.fol = fol
 	srv.recoveryMs = float64(recovery.Duration.Microseconds()) / 1000
 
 	if *pprofAddr != "" {
@@ -352,6 +402,7 @@ func (m *metrics) observeQuery(d time.Duration) {
 type server struct {
 	ix           *genlinkapi.Index
 	dix          *genlinkapi.DurableIndex
+	fol          *genlinkapi.Follower // read replica (-follow); nil on a leader
 	defaultK     int
 	snapshotPath string
 	recoveryMs   float64
@@ -394,6 +445,14 @@ func (s *server) flushSnapshot() error {
 // barrier doubles as the shutdown snapshot, and skipping it would lose
 // the whole load (plain Snapshot refuses while a session is open).
 func (s *server) shutdownPersist() error {
+	// Stop a follower's tailing goroutine FIRST: a record shipped from
+	// the leader between the final snapshot and the log close would be
+	// applied in memory but never covered — the restart would silently
+	// lose it from the snapshot's view of the state. Stop() waits for the
+	// tail loop to exit, so nothing can land once it returns.
+	if s.fol != nil {
+		s.fol.Stop()
+	}
 	if s.dix == nil {
 		return s.flushSnapshot()
 	}
@@ -425,6 +484,14 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /match", s.handleMatch)
 	mux.HandleFunc("POST /match", s.handleMatchProbe)
 	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /promote", s.handlePromote)
+	if s.dix != nil {
+		// Replication source endpoints: any durable node can feed
+		// followers — including a follower itself (chained replication),
+		// since its local log is byte-identical to the leader's.
+		mux.HandleFunc("GET /wal/stream", s.dix.ServeWALStream)
+		mux.HandleFunc("GET /wal/snapshot", s.dix.ServeWALSnapshot)
+	}
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -461,9 +528,12 @@ func toMatchResponse(query string, k int, links []genlinkapi.MatchedLink) matchR
 // queries see each shard's slice of the batch either fully applied or
 // not at all. "added" counts distinct IDs (a repeated ID upserts once).
 func (s *server) handlePostEntities(w http.ResponseWriter, r *http.Request) {
-	entities, err := decodeEntities(r)
+	if s.rejectReplicaWrite(w) {
+		return
+	}
+	entities, err := decodeEntities(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeDecodeError(w, err)
 		return
 	}
 	if bf := r.URL.Query().Get("backfill"); bf == "1" || bf == "true" {
@@ -530,6 +600,9 @@ func (s *server) handleBackfillEntities(w http.ResponseWriter, entities []*genli
 // durable and compacts the log. 409 when no session is open. On a
 // snapshot failure the session stays open so the commit can be retried.
 func (s *server) handleBackfillCommit(w http.ResponseWriter, _ *http.Request) {
+	if s.rejectReplicaWrite(w) {
+		return
+	}
 	if s.dix == nil {
 		writeError(w, http.StatusConflict, errors.New("backfill mode requires -wal-dir"))
 		return
@@ -557,10 +630,38 @@ func (s *server) handleBackfillCommit(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// rejectReplicaWrite answers 403 with the leader's address when this
+// node is an unpromoted follower — writes must go to the leader, and the
+// body tells the client where that is.
+func (s *server) rejectReplicaWrite(w http.ResponseWriter) bool {
+	if s.fol == nil || s.fol.Promoted() {
+		return false
+	}
+	writeJSON(w, http.StatusForbidden, map[string]string{
+		"error":  "read-only replica: send writes to the leader",
+		"leader": s.fol.Leader(),
+	})
+	return true
+}
+
+// writeDecodeError maps a body-decoding failure to its status: an
+// oversized body (MaxBytesReader tripped) is 413, everything else 400.
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body exceeds the %d-byte limit", mbe.Limit))
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
+}
+
 // decodeEntities accepts `{...}` or `[{...}, ...]` bodies and validates
-// that every entity carries an id.
-func decodeEntities(r *http.Request) ([]*genlinkapi.Entity, error) {
-	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 16<<20))
+// that every entity carries an id. The ResponseWriter lets
+// MaxBytesReader close the connection on overrun; the caller maps the
+// resulting *http.MaxBytesError to 413 via writeDecodeError.
+func decodeEntities(w http.ResponseWriter, r *http.Request) ([]*genlinkapi.Entity, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
 	if err != nil {
 		return nil, fmt.Errorf("read body: %w", err)
 	}
@@ -606,6 +707,9 @@ func (s *server) handleGetEntity(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleDeleteEntity(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReplicaWrite(w) {
+		return
+	}
 	id := r.PathValue("id")
 	if s.dix != nil {
 		// Cheap existence pre-check so 404s don't append log records; the
@@ -665,9 +769,9 @@ func (s *server) handleMatchProbe(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	entities, err := decodeEntities(r)
+	entities, err := decodeEntities(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeDecodeError(w, err)
 		return
 	}
 	if len(entities) != 1 {
@@ -715,6 +819,29 @@ func (s *server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 		"path":     s.snapshotPath,
 		"entities": s.ix.Len(),
 		"ms":       float64(time.Since(t0).Microseconds()) / 1000,
+	})
+}
+
+// handlePromote flips a follower into a leader: stop tailing, cut a
+// snapshot at the promote point, then accept writes. Idempotent — a
+// second promote just re-snapshots. 409 on a node that isn't a replica.
+func (s *server) handlePromote(w http.ResponseWriter, _ *http.Request) {
+	if s.fol == nil {
+		writeError(w, http.StatusConflict, errors.New("not a replica (-follow): nothing to promote"))
+		return
+	}
+	t0 := time.Now()
+	if err := s.fol.Promote(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.m.snapshots.Add(1)
+	log.Printf("promoted to leader at applied seq %d", s.dix.AppliedSeq())
+	writeJSON(w, http.StatusOK, map[string]any{
+		"role":        "leader",
+		"applied_seq": s.dix.AppliedSeq(),
+		"entities":    s.ix.Len(),
+		"ms":          float64(time.Since(t0).Microseconds()) / 1000,
 	})
 }
 
@@ -766,6 +893,20 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	out["wal_snapshot_seq"] = dm.SnapshotSeq
 	out["backfill_active"] = backfillActive
 	out["backfilled"] = s.m.backfilled.Load()
+	// Replication gauges, same always-present convention: a non-replica
+	// reports role "leader", its own applied seq and zero lag.
+	var rs genlinkapi.ReplicationStatus
+	if s.fol != nil {
+		rs = s.fol.Status()
+	} else {
+		rs.Role = "leader"
+		rs.AppliedSeq = dm.WALRecords
+	}
+	out["role"] = rs.Role
+	out["leader"] = rs.Leader
+	out["applied_seq"] = rs.AppliedSeq
+	out["replica_lag_records"] = rs.LagRecords
+	out["replica_lag_ms"] = rs.LagMs
 	writeJSON(w, http.StatusOK, out)
 }
 

@@ -563,6 +563,8 @@ func TestHandlerErrorPaths(t *testing.T) {
 		{"match with bad k", "GET", "/match?id=a&k=abc", nil, 400},
 		{"match with negative k", "GET", "/match?id=a&k=-1", nil, 400},
 		{"match of unknown id", "GET", "/match?id=ghost", nil, 404},
+		{"post entities oversized body", "POST", "/entities", bytes.Repeat([]byte("x"), 16<<20+1), 413},
+		{"post match oversized body", "POST", "/match", bytes.Repeat([]byte("x"), 16<<20+1), 413},
 		{"post entities malformed json", "POST", "/entities", []byte(`{"id": "x",`), 400},
 		{"post entities empty body", "POST", "/entities", []byte(``), 400},
 		{"post entities not an object", "POST", "/entities", []byte(`42`), 400},
@@ -807,6 +809,186 @@ func TestBackfillWithoutWALDir(t *testing.T) {
 	}
 	if code := doJSON(t, c, "POST", ts.URL+"/backfill/commit", nil, nil); code != 409 {
 		t.Fatalf("commit without -wal-dir = %d, want 409", code)
+	}
+}
+
+// newFollowerTestServer opens a follower of leaderURL over dir and
+// serves it the way main's -follow branch does.
+func newFollowerTestServer(t *testing.T, leaderURL, dir string) (*httptest.Server, *genlinkapi.Follower, *server) {
+	t.Helper()
+	fol, err := genlinkapi.OpenFollower(genlinkapi.FollowerOptions{
+		Leader:         leaderURL,
+		Dir:            dir,
+		Durable:        genlinkapi.DurableIndexOptions{SnapshotEvery: -1},
+		ReconnectDelay: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(fol.Index(), 10, "")
+	srv.dix = fol.Durable()
+	srv.fol = fol
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return ts, fol, srv
+}
+
+// waitFollowerApplied blocks until the follower has applied at least seq.
+func waitFollowerApplied(t *testing.T, fol *genlinkapi.Follower, seq uint64) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if fol.Status().AppliedSeq >= seq {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("follower stuck: %+v, want applied seq ≥ %d", fol.Status(), seq)
+}
+
+// TestReplicaServer drives the follower HTTP surface: reads and metrics
+// are served locally, writes bounce with 403 naming the leader, and
+// POST /promote flips the node into accepting writes.
+func TestReplicaServer(t *testing.T) {
+	leaderTS, leaderDix := newDurableTestServer(t, t.TempDir(),
+		genlinkapi.DurableIndexOptions{SnapshotEvery: -1})
+	c := leaderTS.Client()
+	bulk := []byte(`[` + string(entityJSON("a", "Grace Hopper", "compilers")) + `,` +
+		string(entityJSON("b", "grace hoper", "compilers")) + `,` +
+		string(entityJSON("c", "Alan Turing", "computability")) + `]`)
+	if code := doJSON(t, c, "POST", leaderTS.URL+"/entities", bulk, nil); code != 200 {
+		t.Fatalf("leader POST /entities = %d", code)
+	}
+
+	folTS, fol, _ := newFollowerTestServer(t, leaderTS.URL, t.TempDir())
+	waitFollowerApplied(t, fol, leaderDix.AppliedSeq())
+
+	// Promote on a non-replica: 409.
+	if code := doJSON(t, c, "POST", leaderTS.URL+"/promote", nil, nil); code != 409 {
+		t.Fatalf("POST /promote on leader = %d, want 409", code)
+	}
+
+	// Reads are served from the replica's own index.
+	var got map[string]any
+	if code := doJSON(t, c, "GET", folTS.URL+"/entities/a", nil, &got); code != 200 || got["id"] != "a" {
+		t.Fatalf("replica GET /entities/a = %d %v", code, got)
+	}
+	var wantMatch, gotMatch matchResponse
+	if code := doJSON(t, c, "GET", leaderTS.URL+"/match?id=a&k=5", nil, &wantMatch); code != 200 {
+		t.Fatalf("leader GET /match = %d", code)
+	}
+	if code := doJSON(t, c, "GET", folTS.URL+"/match?id=a&k=5", nil, &gotMatch); code != 200 {
+		t.Fatalf("replica GET /match = %d", code)
+	}
+	if len(gotMatch.Links) != len(wantMatch.Links) {
+		t.Fatalf("replica match = %+v, leader match = %+v", gotMatch.Links, wantMatch.Links)
+	}
+	for i := range gotMatch.Links {
+		if gotMatch.Links[i] != wantMatch.Links[i] {
+			t.Fatalf("replica match[%d] = %+v, leader %+v", i, gotMatch.Links[i], wantMatch.Links[i])
+		}
+	}
+	var stats map[string]any
+	doJSON(t, c, "GET", folTS.URL+"/stats", nil, &stats)
+	if stats["entities"].(float64) != 3 {
+		t.Fatalf("replica stats = %v, want 3 entities", stats)
+	}
+	var m map[string]any
+	if code := doJSON(t, c, "GET", folTS.URL+"/metrics", nil, &m); code != 200 {
+		t.Fatalf("replica GET /metrics = %d", code)
+	}
+	if m["role"] != "follower" || m["applied_seq"].(float64) != 1 {
+		t.Fatalf("replica metrics role=%v applied_seq=%v, want follower at seq 1", m["role"], m["applied_seq"])
+	}
+	if m["leader"] != fol.Leader() {
+		t.Fatalf("replica metrics leader = %v, want %v", m["leader"], fol.Leader())
+	}
+	for _, k := range []string{"replica_lag_records", "replica_lag_ms"} {
+		if _, ok := m[k]; !ok {
+			t.Fatalf("replica metrics missing %q: %v", k, m)
+		}
+	}
+
+	// Writes bounce with 403 and the leader's address.
+	for _, wr := range []struct{ method, path string }{
+		{"POST", "/entities"},
+		{"DELETE", "/entities/a"},
+		{"POST", "/backfill/commit"},
+	} {
+		req, _ := http.NewRequest(wr.method, folTS.URL+wr.path, bytes.NewReader(entityJSON("z", "x", "y")))
+		resp, err := c.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body map[string]string
+		json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != 403 || body["leader"] != fol.Leader() {
+			t.Fatalf("%s %s on replica = %d %v, want 403 naming the leader", wr.method, wr.path, resp.StatusCode, body)
+		}
+	}
+	if code := doJSON(t, c, "GET", folTS.URL+"/entities/a", nil, nil); code != 200 {
+		t.Fatal("rejected write deleted the entity anyway")
+	}
+
+	// Promote: writes start succeeding, role flips, second promote is
+	// idempotent.
+	var pr map[string]any
+	if code := doJSON(t, c, "POST", folTS.URL+"/promote", nil, &pr); code != 200 || pr["role"] != "leader" {
+		t.Fatalf("POST /promote = %d %v", code, pr)
+	}
+	if code := doJSON(t, c, "POST", folTS.URL+"/entities", entityJSON("d", "Ada Lovelace", "notes"), nil); code != 200 {
+		t.Fatalf("post-promote POST /entities = %d", code)
+	}
+	if code := doJSON(t, c, "GET", folTS.URL+"/entities/d", nil, nil); code != 200 {
+		t.Fatal("post-promote write not visible")
+	}
+	if code := doJSON(t, c, "POST", folTS.URL+"/promote", nil, nil); code != 200 {
+		t.Fatal("second promote not idempotent")
+	}
+	doJSON(t, c, "GET", folTS.URL+"/metrics", nil, &m)
+	if m["role"] != "leader" {
+		t.Fatalf("post-promote metrics role = %v, want leader", m["role"])
+	}
+}
+
+// TestFollowerShutdownOrdering pins the graceful-shutdown fix: the tail
+// loop stops before the final snapshot, so the snapshot covers every
+// applied record and a restart replays nothing from the log.
+func TestFollowerShutdownOrdering(t *testing.T) {
+	leaderTS, leaderDix := newDurableTestServer(t, t.TempDir(),
+		genlinkapi.DurableIndexOptions{SnapshotEvery: -1})
+	c := leaderTS.Client()
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if code := doJSON(t, c, "POST", leaderTS.URL+"/entities", entityJSON(id, "Grace Hopper", "compilers"), nil); code != 200 {
+			t.Fatalf("leader POST /entities = %d", code)
+		}
+	}
+	folDir := t.TempDir()
+	_, fol, srv := newFollowerTestServer(t, leaderTS.URL, folDir)
+	waitFollowerApplied(t, fol, leaderDix.AppliedSeq())
+
+	// The signal handler's persistence sequence: stop tailing, then the
+	// final snapshot.
+	if err := srv.shutdownPersist(); err != nil {
+		t.Fatalf("shutdownPersist: %v", err)
+	}
+	if err := fol.Durable().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, stats, err := genlinkapi.OpenDurableIndex(folDir, nil, genlinkapi.DurableIndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if stats.RecordsReplayed != 0 {
+		t.Fatalf("restart replayed %d records, want 0 — the final snapshot missed applied state", stats.RecordsReplayed)
+	}
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if restored.Get(id) == nil {
+			t.Fatalf("restart lost entity %s", id)
+		}
 	}
 }
 

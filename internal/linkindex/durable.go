@@ -374,11 +374,7 @@ func (d *DurableIndex) Apply(b Batch) (ApplyResult, error) {
 	res := d.ix.Apply(b)
 	d.mu.Unlock()
 
-	if every := d.opts.snapshotEvery(); every > 0 && d.recordsSinceSnap.Add(1) >= int64(every) {
-		d.maybeSnapshotAsync()
-	} else if every <= 0 {
-		d.recordsSinceSnap.Add(1)
-	}
+	d.noteRecord()
 	return res, nil
 }
 
@@ -389,9 +385,20 @@ func (d *DurableIndex) maybeSnapshotAsync() {
 		return
 	}
 	go func() {
-		defer d.snapshotting.Store(false)
-		if err := d.Snapshot(); err != nil && !errors.Is(err, errWALClosed) && !errors.Is(err, ErrBackfillActive) {
-			d.opts.logf("auto-snapshot: %v", err)
+		err := d.Snapshot()
+		d.snapshotting.Store(false)
+		if err != nil {
+			if !errors.Is(err, errWALClosed) && !errors.Is(err, ErrBackfillActive) {
+				d.opts.logf("auto-snapshot: %v", err)
+			}
+			return
+		}
+		// A threshold crossing while this snapshot ran lost its trigger
+		// to the CAS above; re-check so a write burst that quiesces
+		// mid-snapshot still gets its covering snapshot instead of
+		// waiting for the next write.
+		if every := d.opts.snapshotEvery(); every > 0 && d.recordsSinceSnap.Load() >= int64(every) {
+			d.maybeSnapshotAsync()
 		}
 	}()
 }
@@ -558,9 +565,10 @@ type DurableMetrics struct {
 
 // Metrics returns the current durability counters.
 func (d *DurableIndex) Metrics() DurableMetrics {
+	w := d.walRef()
 	return DurableMetrics{
-		WALRecords:           d.wal.LastSeq(),
-		WALSegments:          d.wal.Segments(),
+		WALRecords:           w.LastSeq(),
+		WALSegments:          w.Segments(),
 		SnapshotSeq:          d.lastSnapSeq.Load(),
 		RecordsSinceSnapshot: d.recordsSinceSnap.Load(),
 	}

@@ -97,11 +97,23 @@ var (
 	errWALClosed = errors.New("linkindex: wal is closed")
 )
 
+// walFile is the file surface the log writes through; *os.File satisfies
+// it. Tests substitute a stub whose Sync fails to pin the sticky-error
+// contract (an fsync failure must poison the log, not be dropped).
+type walFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
 // walOptions tunes the log; zero values take the defaults above.
 type walOptions struct {
 	SegmentBytes int64
 	Fsync        FsyncPolicy
 	Interval     time.Duration
+	// OpenFile overrides segment file creation (tests inject failing
+	// stubs); nil means os.OpenFile.
+	OpenFile func(path string) (walFile, error)
 }
 
 func (o walOptions) withDefaults() walOptions {
@@ -122,12 +134,16 @@ type wal struct {
 	opts walOptions
 
 	mu      sync.Mutex
-	f       *os.File
+	f       walFile
 	w       *bufio.Writer
 	size    int64 // bytes written to the active segment
 	seq     uint64
 	closed  bool
-	syncErr error // first background fsync failure; poisons the log
+	syncErr error // first flush/fsync failure; poisons the log
+	// notify is closed and replaced on every successful append, so
+	// long-poll readers (the replication stream) can wait for new records
+	// without spinning.
+	notify chan struct{}
 
 	stop chan struct{}
 	done chan struct{}
@@ -156,7 +172,7 @@ func syncDir(dir string) error {
 // removed unreplayable segments, so an existing file with the new
 // segment's name holds nothing worth keeping and is truncated.
 func openWAL(dir string, lastSeq uint64, opts walOptions) (*wal, error) {
-	w := &wal{dir: dir, opts: opts.withDefaults(), seq: lastSeq}
+	w := &wal{dir: dir, opts: opts.withDefaults(), seq: lastSeq, notify: make(chan struct{})}
 	if err := w.openSegment(lastSeq + 1); err != nil {
 		return nil, err
 	}
@@ -172,7 +188,13 @@ func openWAL(dir string, lastSeq uint64, opts walOptions) (*wal, error) {
 // Callers hold mu (or have exclusive access during open).
 func (w *wal) openSegment(firstSeq uint64) error {
 	path := filepath.Join(w.dir, segName(firstSeq))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	open := w.opts.OpenFile
+	if open == nil {
+		open = func(path string) (walFile, error) {
+			return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		}
+	}
+	f, err := open(path)
 	if err != nil {
 		return fmt.Errorf("linkindex: wal: %w", err)
 	}
@@ -206,9 +228,10 @@ func (w *wal) flushLoop() {
 		case <-t.C:
 			w.mu.Lock()
 			if !w.closed && w.syncErr == nil {
-				if err := w.flushLocked(true); err != nil {
-					w.syncErr = err
-				}
+				// flushLocked records the sticky error itself: a failed
+				// group commit must fail the next Append instead of letting
+				// the log keep acknowledging writes the disk has dropped.
+				_ = w.flushLocked(true)
 			}
 			w.mu.Unlock()
 		}
@@ -245,6 +268,9 @@ func (w *wal) Append(payload []byte) (uint64, error) {
 	}
 	w.seq = seq
 	w.size += int64(walHeaderLen + len(payload))
+	// Wake long-poll readers waiting for this record.
+	close(w.notify)
+	w.notify = make(chan struct{})
 	switch w.opts.Fsync {
 	case FsyncBatch:
 		if err := w.flushLocked(true); err != nil {
@@ -268,16 +294,31 @@ func (w *wal) Append(payload []byte) (uint64, error) {
 }
 
 // flushLocked drains the buffer to the file, fsyncing when sync is set.
+// Any failure is recorded as the wal's sticky error before it is
+// returned: after the disk has failed a flush or an fsync, the log's
+// on-disk suffix is unknown, so every later Append must fail rather than
+// acknowledge a write that may never become durable. (This matters most
+// for the background group-committer, whose return value nobody reads.)
 func (w *wal) flushLocked(sync bool) error {
 	if err := w.w.Flush(); err != nil {
-		return fmt.Errorf("linkindex: wal: %w", err)
+		return w.poison(err)
 	}
 	if sync && w.opts.Fsync != FsyncOff {
 		if err := w.f.Sync(); err != nil {
-			return fmt.Errorf("linkindex: wal: %w", err)
+			return w.poison(err)
 		}
 	}
 	return nil
+}
+
+// poison records err as the wal's sticky failure (first one wins) and
+// returns the wrapped form. Callers hold mu.
+func (w *wal) poison(err error) error {
+	wrapped := fmt.Errorf("linkindex: wal: %w", err)
+	if w.syncErr == nil {
+		w.syncErr = wrapped
+	}
+	return wrapped
 }
 
 // rotateLocked finishes the active segment and starts the next one.
@@ -314,12 +355,38 @@ func (w *wal) Sync() error {
 		return errWALClosed
 	}
 	if err := w.w.Flush(); err != nil {
-		return fmt.Errorf("linkindex: wal: %w", err)
+		return w.poison(err)
 	}
 	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("linkindex: wal: %w", err)
+		return w.poison(err)
 	}
 	return nil
+}
+
+// Flush drains the user-space buffer to the OS without fsyncing, so the
+// segment files hold every acknowledged record. The replication stream
+// calls this before reading the active segment: under FsyncOff appends
+// may otherwise sit in the bufio buffer indefinitely.
+func (w *wal) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errWALClosed
+	}
+	if err := w.w.Flush(); err != nil {
+		return w.poison(err)
+	}
+	return nil
+}
+
+// seqAndNotify returns the last appended sequence number together with
+// the channel that will be closed by the next append — the snapshot a
+// long-poll reader needs to wait without missing a wakeup: check seq,
+// and if nothing new, block on the channel.
+func (w *wal) seqAndNotify() (uint64, <-chan struct{}) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq, w.notify
 }
 
 // LastSeq returns the sequence number of the last appended record (0 for
@@ -528,6 +595,174 @@ func replaySegment(seg walSegment, fromSeq uint64, scan *walScan, fn func(seq ui
 		offset += int64(walHeaderLen) + int64(length)
 		expect = seq + 1
 	}
+}
+
+// errWALCompacted reports that a record a reader needs has been deleted
+// by snapshot compaction: the reader fell behind the retention window
+// and must re-bootstrap from a snapshot instead of the log.
+var errWALCompacted = errors.New("linkindex: wal: records compacted away; re-bootstrap from a snapshot")
+
+// walCursor reads committed records sequentially from the segment files,
+// decoupled from the appender: it opens segments read-only and validates
+// every record (length bound, CRC, sequence contiguity) as it goes —
+// this is the leader-side read path of the replication stream. The
+// appender may keep writing while a cursor reads; callers gate each read
+// on a sequence number they know is flushed (LastSeq, then Flush), so
+// the cursor never parses a half-written tail.
+type walCursor struct {
+	dir     string
+	nextSeq uint64 // sequence number of the next record to return
+	f       *os.File
+	offset  int64  // byte offset of the next unread byte in f
+	expect  uint64 // sequence number of the record at offset
+	payload []byte // reusable read buffer
+}
+
+// newWALCursor positions a cursor after fromSeq: the first record it
+// returns is fromSeq+1.
+func newWALCursor(dir string, fromSeq uint64) *walCursor {
+	return &walCursor{dir: dir, nextSeq: fromSeq + 1}
+}
+
+// Close releases the open segment file, if any.
+func (c *walCursor) Close() {
+	if c.f != nil {
+		c.f.Close()
+		c.f = nil
+	}
+}
+
+// seek opens the segment holding nextSeq, leaving c.f nil when no
+// on-disk segment can hold it yet (the record has not been appended).
+// It returns errWALCompacted when the segment was deleted by compaction.
+func (c *walCursor) seek() error {
+	segs, err := listSegments(c.dir)
+	if err != nil {
+		return err
+	}
+	idx := -1
+	for i, s := range segs {
+		if s.firstSeq <= c.nextSeq {
+			idx = i
+		} else {
+			break
+		}
+	}
+	if idx == -1 {
+		if len(segs) > 0 {
+			// The oldest surviving segment starts past nextSeq: the records
+			// in between are gone.
+			return errWALCompacted
+		}
+		return nil
+	}
+	f, err := os.Open(segs[idx].path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return errWALCompacted // deleted between list and open
+		}
+		return fmt.Errorf("linkindex: wal: %w", err)
+	}
+	magic := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != walMagic {
+		f.Close()
+		return fmt.Errorf("linkindex: wal: segment %s has no magic", segs[idx].path)
+	}
+	c.f, c.offset, c.expect = f, int64(len(walMagic)), segs[idx].firstSeq
+	return nil
+}
+
+// next returns the next committed record with sequence number ≤ gate.
+// ok=false means no such record is readable yet (the caller should wait
+// for appends and retry); errWALCompacted means the cursor's position
+// was compacted away. The returned payload is only valid until the next
+// call.
+func (c *walCursor) next(gate uint64) (seq uint64, payload []byte, ok bool, err error) {
+	for {
+		if c.nextSeq > gate {
+			return 0, nil, false, nil
+		}
+		if c.f == nil {
+			if err := c.seek(); err != nil {
+				return 0, nil, false, err
+			}
+			if c.f == nil {
+				return 0, nil, false, nil
+			}
+		}
+		var hdr [walHeaderLen]byte
+		if _, rerr := c.f.ReadAt(hdr[:], c.offset); rerr != nil {
+			if rerr == io.EOF {
+				// Clean or partial end of this segment. Every record up to
+				// gate is fully flushed, so a record we still need lives in
+				// the segment the appender rotated to: re-seek there. If the
+				// re-seek lands on the same segment (rotation mid-flight),
+				// report "nothing yet" and let the caller retry.
+				again, aerr := c.reseek()
+				if aerr != nil {
+					return 0, nil, false, aerr
+				}
+				if !again {
+					return 0, nil, false, nil
+				}
+				continue
+			}
+			return 0, nil, false, fmt.Errorf("linkindex: wal: %w", rerr)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+		seq := binary.LittleEndian.Uint64(hdr[8:16])
+		if length > maxWALRecordLen || seq != c.expect {
+			return 0, nil, false, fmt.Errorf("linkindex: wal: corrupt record at offset %d (len %d, seq %d, want seq %d)",
+				c.offset, length, seq, c.expect)
+		}
+		if cap(c.payload) < int(length) {
+			c.payload = make([]byte, length)
+		}
+		c.payload = c.payload[:length]
+		if _, rerr := c.f.ReadAt(c.payload, c.offset+walHeaderLen); rerr != nil {
+			return 0, nil, false, fmt.Errorf("linkindex: wal: %w", rerr)
+		}
+		crc := crc32.Update(0, crcTable, hdr[8:16])
+		crc = crc32.Update(crc, crcTable, c.payload)
+		if crc != wantCRC {
+			return 0, nil, false, fmt.Errorf("linkindex: wal: CRC mismatch at seq %d", seq)
+		}
+		c.offset += int64(walHeaderLen) + int64(length)
+		c.expect = seq + 1
+		if seq >= c.nextSeq {
+			c.nextSeq = seq + 1
+			return seq, c.payload, true, nil
+		}
+		// A record below nextSeq (re-positioned cursor): skip it.
+	}
+}
+
+// reseek closes the current segment and re-seeks for nextSeq, reporting
+// whether the cursor moved to a different position worth re-reading.
+func (c *walCursor) reseek() (bool, error) {
+	segs, err := listSegments(c.dir)
+	if err != nil {
+		return false, err
+	}
+	for _, s := range segs {
+		if s.firstSeq == c.nextSeq {
+			c.Close()
+			return true, c.seek()
+		}
+	}
+	return false, nil
+}
+
+// oldestWALSeq returns the first record sequence number still covered by
+// the on-disk segments (the oldest a stream can resume from), or
+// lastSeq+1 when the log holds no segments.
+func oldestWALSeq(dir string, lastSeq uint64) uint64 {
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		return lastSeq + 1
+	}
+	return segs[0].firstSeq
 }
 
 // discardTornTail removes the unreplayable bytes a torn scan found: the

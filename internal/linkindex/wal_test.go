@@ -2,9 +2,12 @@ package linkindex
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -337,4 +340,186 @@ func FuzzWALReplay(f *testing.F) {
 			t.Fatalf("post-discard scan replayed %d records, want %d", rescan.Records, len(got))
 		}
 	})
+}
+
+// flakySyncFile is a segment file whose Sync fails while armed — the
+// stub behind the sticky-fsync-error regression tests.
+type flakySyncFile struct {
+	*os.File
+	fail *atomic.Bool
+}
+
+func (f *flakySyncFile) Sync() error {
+	if f.fail.Load() {
+		return errors.New("injected fsync failure")
+	}
+	return f.File.Sync()
+}
+
+func flakyWALOptions(fail *atomic.Bool, o walOptions) walOptions {
+	o.OpenFile = func(path string) (walFile, error) {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		return &flakySyncFile{File: f, fail: fail}, nil
+	}
+	return o
+}
+
+func TestWALFsyncFailurePoisonsLog(t *testing.T) {
+	var fail atomic.Bool
+	w, err := openWAL(t.TempDir(), 0, flakyWALOptions(&fail, walOptions{Fsync: FsyncBatch}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append([]byte("a")); err != nil {
+		t.Fatalf("healthy append: %v", err)
+	}
+	fail.Store(true)
+	if _, err := w.Append([]byte("b")); err == nil {
+		t.Fatal("append whose fsync failed must not acknowledge the write")
+	}
+	// The error must be sticky: even after the disk "recovers", the
+	// on-disk suffix is unknown, so the log stays poisoned.
+	fail.Store(false)
+	if _, err := w.Append([]byte("c")); err == nil {
+		t.Fatal("append after an fsync failure must keep failing")
+	}
+}
+
+// TestWALIntervalFsyncFailurePoisonsLog is the regression test for the
+// background group-committer dropping fsync errors on the floor: under
+// FsyncIntervalPolicy nobody reads the flusher's return value, so a
+// failure there MUST poison the log and surface on the next Append —
+// otherwise the log keeps acknowledging writes a dead disk will never
+// hold.
+func TestWALIntervalFsyncFailurePoisonsLog(t *testing.T) {
+	var fail atomic.Bool
+	w, err := openWAL(t.TempDir(), 0, flakyWALOptions(&fail,
+		walOptions{Fsync: FsyncIntervalPolicy, Interval: 2 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append([]byte("a")); err != nil {
+		t.Fatalf("healthy append: %v", err)
+	}
+	fail.Store(true)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, err := w.Append([]byte("x"))
+		if err != nil {
+			if !strings.Contains(err.Error(), "injected fsync failure") {
+				t.Fatalf("append failed with %v, want the injected fsync failure", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background fsync failure never poisoned the log")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fail.Store(false)
+	if _, err := w.Append([]byte("y")); err == nil {
+		t.Fatal("poisoned log must keep failing after the disk recovers")
+	}
+}
+
+func TestWALCursorStreamsAcrossRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force a rotation roughly every append, so the cursor
+	// must hop segment files mid-stream.
+	w, err := openWAL(dir, 0, walOptions{Fsync: FsyncOff, SegmentBytes: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	payloads := testPayloads(9)
+	appendAll(t, w, payloads)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Segments() < 3 {
+		t.Fatalf("want ≥3 segments for a rotation-spanning read, got %d", w.Segments())
+	}
+	cur := newWALCursor(dir, 0)
+	defer cur.Close()
+	gate := w.LastSeq()
+	for i, want := range payloads {
+		seq, payload, ok, err := cur.next(gate)
+		if err != nil || !ok {
+			t.Fatalf("next(%d): ok=%v err=%v", i, ok, err)
+		}
+		if seq != uint64(i+1) || !bytes.Equal(payload, want) {
+			t.Fatalf("record %d = (seq %d, %q), want (seq %d, %q)", i, seq, payload, i+1, want)
+		}
+	}
+	if _, _, ok, err := cur.next(gate); ok || err != nil {
+		t.Fatalf("drained cursor returned ok=%v err=%v", ok, err)
+	}
+	// The gate bounds the cursor: records appended later stay invisible
+	// until the caller re-gates.
+	if _, err := w.Append([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, _ := cur.next(gate); ok {
+		t.Fatal("cursor read past its gate")
+	}
+	seq, payload, ok, err := cur.next(w.LastSeq())
+	if err != nil || !ok || seq != gate+1 || string(payload) != "tail" {
+		t.Fatalf("re-gated next = (%d, %q, %v, %v), want (%d, \"tail\", true, nil)", seq, payload, ok, err, gate+1)
+	}
+}
+
+func TestWALCursorSkipsToFromSeq(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(dir, 0, walOptions{Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	payloads := testPayloads(8)
+	appendAll(t, w, payloads)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cur := newWALCursor(dir, 5)
+	defer cur.Close()
+	seq, payload, ok, err := cur.next(w.LastSeq())
+	if err != nil || !ok || seq != 6 || !bytes.Equal(payload, payloads[5]) {
+		t.Fatalf("next = (%d, %q, %v, %v), want record 6", seq, payload, ok, err)
+	}
+}
+
+func TestWALCursorReportsCompaction(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(dir, 0, walOptions{Fsync: FsyncOff, SegmentBytes: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	appendAll(t, w, testPayloads(9))
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("want ≥2 segments, got %d (%v)", len(segs), err)
+	}
+	if err := os.Remove(segs[0].path); err != nil {
+		t.Fatal(err)
+	}
+	cur := newWALCursor(dir, 0)
+	defer cur.Close()
+	if _, _, _, err := cur.next(w.LastSeq()); !errors.Is(err, errWALCompacted) {
+		t.Fatalf("cursor over a compacted-away position returned %v, want errWALCompacted", err)
+	}
+	if oldest := oldestWALSeq(dir, w.LastSeq()); oldest != segs[1].firstSeq {
+		t.Fatalf("oldestWALSeq = %d, want %d", oldest, segs[1].firstSeq)
+	}
 }

@@ -156,6 +156,15 @@ type (
 	// whole load durable with one atomic snapshot barrier. A crash before
 	// Commit recovers the pre-backfill state.
 	BackfillSession = linkindex.Backfill
+	// Follower tails a leader's WAL stream into a local durable index:
+	// crash-safe read replica with manual Promote.
+	Follower = linkindex.Follower
+	// FollowerOptions configures OpenFollower (leader address, local
+	// directory, durability tuning).
+	FollowerOptions = linkindex.FollowerOptions
+	// ReplicationStatus is a follower's point-in-time replication
+	// standing (applied seq, leader seq, lag).
+	ReplicationStatus = linkindex.ReplicationStatus
 )
 
 // ErrBackfillActive is returned by DurableIndex.Snapshot and
@@ -313,6 +322,17 @@ func OpenDurableIndex(dir string, build func() (*Index, error), o DurableIndexOp
 // to its FsyncPolicy. It reports false for unknown names.
 func FsyncPolicyByName(name string) (FsyncPolicy, bool) {
 	return linkindex.FsyncPolicyByName(name)
+}
+
+// OpenFollower starts a WAL-shipping read replica of the leader named in
+// o: with no local state it bootstraps from the leader's newest snapshot,
+// otherwise it recovers locally (snapshot + log tail, torn tail
+// tolerated) and re-tails from its last applied sequence number. The
+// follower serves reads from Follower.Index and flips to a leader via
+// Follower.Promote. The leader side is served by
+// DurableIndex.ServeWALStream and DurableIndex.ServeWALSnapshot.
+func OpenFollower(o FollowerOptions) (*Follower, error) {
+	return linkindex.OpenFollower(o)
 }
 
 // TokenBlocking returns the default blocking strategy: candidates share a

@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Replication smoke test for genlinkd's -follow mode with real
+# processes: start a leader, attach a follower, write entities to the
+# leader and assert bounded lag on the follower's reads; then SIGKILL
+# the leader, POST /promote on the follower and verify it accepts
+# durable writes as the new leader. Run from the repository root; CI
+# runs it on every push.
+set -euo pipefail
+
+LEADER_ADDR="${GENLINKD_SMOKE_LEADER_ADDR:-127.0.0.1:18199}"
+FOLLOWER_ADDR="${GENLINKD_SMOKE_FOLLOWER_ADDR:-127.0.0.1:18198}"
+LEADER="http://$LEADER_ADDR"
+FOLLOWER="http://$FOLLOWER_ADDR"
+WORK="$(mktemp -d)"
+BIN="$WORK/genlinkd"
+LEADER_PID=""
+FOLLOWER_PID=""
+
+cleanup() {
+  [ -n "$LEADER_PID" ] && kill -9 "$LEADER_PID" 2>/dev/null || true
+  [ -n "$FOLLOWER_PID" ] && kill -9 "$FOLLOWER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "replication_smoke: FAIL: $*" >&2; exit 1; }
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  fail "server at $1 never became healthy"
+}
+
+# wait_applied <base> <seq>: poll until the node reports applied_seq ≥ seq.
+wait_applied() {
+  for _ in $(seq 1 100); do
+    applied=$(curl -fsS "$1/metrics" | jq -r .applied_seq)
+    if [ "$applied" -ge "$2" ]; then return 0; fi
+    sleep 0.1
+  done
+  fail "node at $1 stuck at applied_seq $applied, want ≥ $2"
+}
+
+# A hand-built rule: lowercased names by levenshtein.
+cat > "$WORK/rule.json" <<'EOF'
+{
+  "kind": "comparison", "function": "levenshtein", "threshold": 2,
+  "children": [
+    {"kind": "transform", "function": "lowerCase",
+     "children": [{"kind": "property", "property": "name"}]},
+    {"kind": "transform", "function": "lowerCase",
+     "children": [{"kind": "property", "property": "name"}]}
+  ]
+}
+EOF
+
+go build -o "$BIN" ./cmd/genlinkd
+
+echo "replication_smoke: leader up"
+"$BIN" -rule "$WORK/rule.json" -addr "$LEADER_ADDR" -wal-dir "$WORK/leader-wal" -fsync batch &
+LEADER_PID=$!
+wait_healthy "$LEADER"
+
+curl -fsS -X POST "$LEADER/entities" -d '[
+  {"id":"a","properties":{"name":["Grace Hopper"]}},
+  {"id":"b","properties":{"name":["grace hoper"]}},
+  {"id":"c","properties":{"name":["Alan Turing"]}}
+]' >/dev/null
+
+echo "replication_smoke: follower up"
+"$BIN" -follow "$LEADER" -addr "$FOLLOWER_ADDR" -wal-dir "$WORK/follower-wal" -fsync batch &
+FOLLOWER_PID=$!
+wait_healthy "$FOLLOWER"
+
+# Write more on the leader while the follower tails, then assert the
+# follower converges to the leader's seq with bounded lag.
+curl -fsS -X POST "$LEADER/entities" -d '{"id":"d","properties":{"name":["Ada Lovelace"]}}' >/dev/null
+leader_seq=$(curl -fsS "$LEADER/metrics" | jq -r .applied_seq)
+wait_applied "$FOLLOWER" "$leader_seq"
+
+role=$(curl -fsS "$FOLLOWER/metrics" | jq -r .role)
+[ "$role" = "follower" ] || fail "follower role = $role"
+lag=$(curl -fsS "$FOLLOWER/metrics" | jq -r .replica_lag_records)
+[ "$lag" -le 0 ] || fail "converged follower still lags $lag records"
+entities=$(curl -fsS "$FOLLOWER/stats" | jq -r .entities)
+[ "$entities" = "4" ] || fail "follower corpus = $entities, want 4"
+match=$(curl -fsS "$FOLLOWER/match?id=a&k=5" | jq -r '.links[0].id')
+[ "$match" = "b" ] || fail "follower match of a = $match, want b"
+
+# Writes on the follower bounce with 403 naming the leader.
+code=$(curl -s -o "$WORK/reject.json" -w '%{http_code}' -X POST "$FOLLOWER/entities" \
+  -d '{"id":"x","properties":{"name":["nope"]}}')
+[ "$code" = "403" ] || fail "write on follower answered $code, want 403"
+leader_addr=$(jq -r .leader "$WORK/reject.json")
+[ "$leader_addr" = "$LEADER" ] || fail "403 body names leader $leader_addr, want $LEADER"
+
+echo "replication_smoke: kill -9 leader, promote follower"
+kill -9 "$LEADER_PID"
+wait "$LEADER_PID" 2>/dev/null || true
+LEADER_PID=""
+
+promoted_role=$(curl -fsS -X POST "$FOLLOWER/promote" | jq -r .role)
+[ "$promoted_role" = "leader" ] || fail "promote answered role $promoted_role"
+
+# The promoted follower accepts writes and serves them.
+curl -fsS -X POST "$FOLLOWER/entities" -d '{"id":"e","properties":{"name":["John McCarthy"]}}' >/dev/null
+entities=$(curl -fsS "$FOLLOWER/stats" | jq -r .entities)
+[ "$entities" = "5" ] || fail "post-promote corpus = $entities, want 5"
+role=$(curl -fsS "$FOLLOWER/metrics" | jq -r .role)
+[ "$role" = "leader" ] || fail "post-promote role = $role"
+
+# The promoted node's writes are durable: SIGKILL and restart it as a
+# plain leader on the same WAL directory.
+kill -9 "$FOLLOWER_PID"
+wait "$FOLLOWER_PID" 2>/dev/null || true
+FOLLOWER_PID=""
+"$BIN" -rule "$WORK/rule.json" -addr "$FOLLOWER_ADDR" -wal-dir "$WORK/follower-wal" -fsync batch &
+FOLLOWER_PID=$!
+wait_healthy "$FOLLOWER"
+entities=$(curl -fsS "$FOLLOWER/stats" | jq -r .entities)
+[ "$entities" = "5" ] || fail "restarted promoted node corpus = $entities, want 5"
+
+kill -9 "$FOLLOWER_PID" 2>/dev/null || true
+wait "$FOLLOWER_PID" 2>/dev/null || true
+FOLLOWER_PID=""
+echo "replication_smoke: OK (follower converged, promote flipped to leader, writes durable)"
