@@ -34,10 +34,16 @@
 //     follower tailing the stream over HTTP, the follower's lag profile,
 //     catch-up time and the promote cost → the "replication" section of
 //     BENCH_linkindex.json
+//   - route: the scale-out routing tier (internal/linkrouter) — routed
+//     write throughput across partition leaders vs a single direct
+//     leader, fan-out query latency with and without hedging, and the
+//     replica-read offload ratio → the "route" section of
+//     BENCH_linkindex.json
 //
 // BENCH_linkindex.json holds one JSON object with an "index", a "shard",
-// a "durability", a "stream", a "backfill" and a "replication" section;
-// each workload rewrites its own section and preserves the others.
+// a "durability", a "stream", a "backfill", a "replication" and a
+// "route" section; each workload rewrites its own section and preserves
+// the others.
 //
 // Usage:
 //
@@ -116,6 +122,7 @@ func main() {
 		mixBatch   = flag.Int("mixbatch", 512, "entities per Apply batch in the shard workload's mixed load")
 		mixQRate   = flag.Float64("mixqrate", 400, "offered query rate (queries/sec) across all readers in the shard workload")
 		durBatch   = flag.Int("durbatch", 128, "entities per Apply batch in the durability workload")
+		parts      = flag.Int("parts", 2, "partition groups for the route workload")
 		streamK    = flag.Int("streamk", 10, "top-k per query in the stream workload")
 		seed       = flag.Int64("seed", 1, "random seed")
 	)
@@ -186,8 +193,13 @@ func main() {
 			n = runtime.GOMAXPROCS(0)
 		}
 		runReplicationWorkload(ds, *out, *blocker, *durBatch, max(n, 1))
+	case "route":
+		if *out == "" {
+			*out = "BENCH_linkindex.json"
+		}
+		runRouteWorkload(ds, *out, *blocker, *durBatch, *parts, *probes)
 	default:
-		log.Fatalf("unknown workload %q (available: engine, index, shard, durability, stream, backfill, replication)", *workload)
+		log.Fatalf("unknown workload %q (available: engine, index, shard, durability, stream, backfill, replication, route)", *workload)
 	}
 }
 

@@ -1,0 +1,337 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"genlink/internal/entity"
+	"genlink/internal/linkindex"
+	"genlink/internal/linkrouter"
+	"genlink/internal/matching"
+)
+
+// RouteReport is the "route" section of BENCH_linkindex.json: routed vs
+// direct single-node write throughput over HTTP, fan-out query latency
+// with and without hedging, and the replica-read offload ratio.
+type RouteReport struct {
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	Dataset    string `json:"dataset"`
+	Blocker    string `json:"blocker"`
+	Entities   int    `json:"entities"`
+	BatchSize  int    `json:"batch_size"`
+	Partitions int    `json:"partitions"`
+
+	// DirectWritesPerSec: entities/sec through one fsync-batch leader
+	// over HTTP — the single-node ceiling the router is built to beat.
+	DirectWritesPerSec float64 `json:"direct_writes_per_sec"`
+	// RoutedWritesPerSec: the same corpus through the router splitting
+	// batches across the partition leaders in parallel.
+	RoutedWritesPerSec float64 `json:"routed_writes_per_sec"`
+
+	// Fan-out POST /match latency through the router, hedging off.
+	FanoutQueryP50Ns float64 `json:"fanout_query_p50_ns"`
+	FanoutQueryP99Ns float64 `json:"fanout_query_p99_ns"`
+	// The same probes with hedging armed.
+	HedgedQueryP50Ns float64 `json:"hedged_query_p50_ns"`
+	HedgedQueryP99Ns float64 `json:"hedged_query_p99_ns"`
+	HedgesFired      int64   `json:"hedges_fired"`
+
+	// ReplicaReadRatio: fraction of read legs served by replicas when
+	// every group has a caught-up follower — the leader-offload the
+	// freshness knob buys.
+	ReplicaReadRatio float64 `json:"replica_read_ratio"`
+
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+// routeBackend is one benched genlinkd-shaped node: the subset of the
+// service API the router touches, over a DurableIndex (and a Follower
+// when the node is a replica). cmd/bench cannot import package main of
+// cmd/genlinkd, so this mirrors its contract — the real-process version
+// is covered by scripts/router_smoke.sh.
+func routeBackend(dix *linkindex.DurableIndex, fol *linkindex.Follower) *http.ServeMux {
+	ix := dix.Index()
+	writeJSON := func(w http.ResponseWriter, status int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(v)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /entities", func(w http.ResponseWriter, r *http.Request) {
+		if fol != nil && !fol.Promoted() {
+			writeJSON(w, http.StatusForbidden, map[string]string{
+				"error": "read-only replica", "leader": fol.Leader(),
+			})
+			return
+		}
+		var entities []*entity.Entity
+		if err := json.NewDecoder(r.Body).Decode(&entities); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		res, err := dix.Apply(linkindex.Batch{Upserts: entities})
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"added": res.Upserted, "entities": ix.Len()})
+	})
+	mux.HandleFunc("GET /entities/{id}", func(w http.ResponseWriter, r *http.Request) {
+		e := ix.Get(r.PathValue("id"))
+		if e == nil {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown entity"})
+			return
+		}
+		writeJSON(w, http.StatusOK, e)
+	})
+	mux.HandleFunc("POST /match", func(w http.ResponseWriter, r *http.Request) {
+		k := 10
+		if raw := r.URL.Query().Get("k"); raw != "" {
+			fmt.Sscanf(raw, "%d", &k)
+		}
+		var probe entity.Entity
+		if err := json.NewDecoder(r.Body).Decode(&probe); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		links := ix.Query(&probe, k)
+		type linkJSON struct {
+			ID    string  `json:"id"`
+			Score float64 `json:"score"`
+		}
+		out := make([]linkJSON, 0, len(links))
+		for _, l := range links {
+			out = append(out, linkJSON{ID: l.BID, Score: l.Score})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"query": probe.ID, "k": k, "links": out})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"entities": ix.Len()})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		role, leader := "leader", ""
+		var lag uint64
+		applied := dix.AppliedSeq()
+		if fol != nil {
+			st := fol.Status()
+			role, leader, lag, applied = st.Role, st.Leader, st.LagRecords, st.AppliedSeq
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"role": role, "leader": leader,
+			"applied_seq": applied, "replica_lag_records": lag,
+		})
+	})
+	mux.HandleFunc("GET /wal/stream", dix.ServeWALStream)
+	mux.HandleFunc("GET /wal/snapshot", dix.ServeWALSnapshot)
+	return mux
+}
+
+// runRouteWorkload measures the routing tier: the corpus is written
+// through one leader directly, then through the router over `parts`
+// partition leaders (fsync-batch on every leader, so each partition
+// pays only its slice of the fsync path); followers then attach and the
+// probe set runs through the fan-out path with hedging off and on.
+func runRouteWorkload(ds *entity.Dataset, out, blockerName string, batchSize, parts, probes int) {
+	bl := matching.BlockerByName(blockerName)
+	if bl == nil {
+		log.Fatalf("unknown blocker %q (available: %v)", blockerName, matching.BlockerNames())
+	}
+	if batchSize <= 0 {
+		batchSize = 128
+	}
+	if parts < 2 {
+		parts = 2
+	}
+	if probes <= 0 {
+		probes = 200
+	}
+	r := probeRule(ds)
+	corpus := ds.B.Entities
+	opts := matching.Options{Blocker: bl}
+
+	report := &RouteReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		Dataset:    ds.Name,
+		Blocker:    bl.Name(),
+		Entities:   len(corpus),
+		BatchSize:  batchSize,
+		Partitions: parts,
+		Speedups:   map[string]float64{},
+	}
+
+	client := linkindex.NewPooledClient(0)
+	postBatches := func(url string) time.Duration {
+		t0 := time.Now()
+		for i := 0; i < len(corpus); i += batchSize {
+			hi := min(i+batchSize, len(corpus))
+			body, err := json.Marshal(corpus[i:hi])
+			if err != nil {
+				log.Fatal(err)
+			}
+			resp, err := client.Post(url+"/entities", "application/json", bytes.NewReader(body))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				log.Fatalf("POST /entities to %s: status %d", url, resp.StatusCode)
+			}
+			_ = resp.Body.Close()
+		}
+		return time.Since(t0)
+	}
+
+	newLeader := func(tag string) (*linkindex.DurableIndex, *httptest.Server) {
+		dir, err := os.MkdirTemp("", "genlink-bench-route-"+tag+"-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		dix, err := linkindex.NewDurable(dir, linkindex.NewSharded(r, 0, opts),
+			linkindex.DurableOptions{Fsync: linkindex.FsyncBatch, SnapshotEvery: -1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts := httptest.NewServer(routeBackend(dix, nil))
+		return dix, ts
+	}
+	cleanupDir := func(dix *linkindex.DurableIndex) {
+		dir := dix.Dir()
+		_ = dix.Close()
+		_ = os.RemoveAll(dir)
+	}
+
+	// Phase 1: the single-node ceiling — every batch through one leader's
+	// logged, fsync-batch Apply over HTTP.
+	single, singleTS := newLeader("single")
+	elapsed := postBatches(singleTS.URL)
+	report.DirectWritesPerSec = float64(len(corpus)) / elapsed.Seconds()
+	if single.Index().Len() != len(corpus) {
+		log.Fatalf("direct load: %d entities, want %d", single.Index().Len(), len(corpus))
+	}
+	singleTS.Close()
+	cleanupDir(single)
+	fmt.Printf("%-28s %10.0f entities/sec\n", "route/direct-write", report.DirectWritesPerSec)
+
+	// Phase 2: the same corpus through the router across `parts` leaders.
+	leaders := make([]*linkindex.DurableIndex, parts)
+	leaderTS := make([]*httptest.Server, parts)
+	groups := make([][]string, parts)
+	for i := range leaders {
+		leaders[i], leaderTS[i] = newLeader(fmt.Sprintf("p%d", i))
+		defer cleanupDir(leaders[i])
+		defer leaderTS[i].Close()
+		groups[i] = []string{leaderTS[i].URL}
+	}
+	rt, err := linkrouter.New(linkrouter.Options{Groups: groups, PollInterval: time.Hour})
+	if err != nil {
+		log.Fatal(err)
+	}
+	routerTS := httptest.NewServer(rt.Handler())
+	elapsed = postBatches(routerTS.URL)
+	report.RoutedWritesPerSec = float64(len(corpus)) / elapsed.Seconds()
+	total := 0
+	for _, l := range leaders {
+		total += l.Index().Len()
+	}
+	if total != len(corpus) {
+		log.Fatalf("routed load: %d entities across partitions, want %d", total, len(corpus))
+	}
+	routerTS.Close()
+	rt.Close()
+	report.Speedups["routed_vs_direct_writes"] = ratio(report.RoutedWritesPerSec, report.DirectWritesPerSec)
+	fmt.Printf("%-28s %10.0f entities/sec (%.2fx single leader, %d partitions)\n",
+		"route/routed-write", report.RoutedWritesPerSec, report.Speedups["routed_vs_direct_writes"], parts)
+
+	// Phase 3: attach a follower to every partition and run the probe set
+	// through the fan-out path — replicas serve the legs once caught up.
+	followers := make([]*linkindex.Follower, parts)
+	for i := range followers {
+		dir, err := os.MkdirTemp("", fmt.Sprintf("genlink-bench-route-f%d-", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		fol, err := linkindex.OpenFollower(linkindex.FollowerOptions{
+			Leader:  leaderTS[i].URL,
+			Dir:     dir,
+			Durable: linkindex.DurableOptions{Fsync: linkindex.FsyncOff, SnapshotEvery: -1},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fol.Stop()
+		followers[i] = fol
+		fts := httptest.NewServer(routeBackend(fol.Durable(), fol))
+		defer fts.Close()
+		groups[i] = append(groups[i], fts.URL)
+	}
+	for i, fol := range followers {
+		target := leaders[i].AppliedSeq()
+		for fol.Status().AppliedSeq < target {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	probeSet := make([]*entity.Entity, 0, probes)
+	for i := 0; i < probes; i++ {
+		probeSet = append(probeSet, corpus[i%len(corpus)])
+	}
+	runProbes := func(hedgeAfter time.Duration) (p50, p99 float64, m linkrouter.Snapshot) {
+		rt, err := linkrouter.New(linkrouter.Options{
+			Groups: groups, MaxLag: 0, HedgeAfter: hedgeAfter,
+			PollInterval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rt.Close()
+		ts := httptest.NewServer(rt.Handler())
+		defer ts.Close()
+		durs := make([]float64, 0, len(probeSet))
+		for _, p := range probeSet {
+			body, _ := json.Marshal(p)
+			t0 := time.Now()
+			resp, err := client.Post(ts.URL+"/match?k=10", "application/json", bytes.NewReader(body))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				log.Fatalf("routed POST /match: status %d", resp.StatusCode)
+			}
+			_ = resp.Body.Close()
+			durs = append(durs, float64(time.Since(t0).Nanoseconds()))
+		}
+		sort.Float64s(durs)
+		return quantile(durs, 0.50), quantile(durs, 0.99), rt.Metrics()
+	}
+
+	var m linkrouter.Snapshot
+	report.FanoutQueryP50Ns, report.FanoutQueryP99Ns, m = runProbes(0)
+	report.ReplicaReadRatio = m.ReplicaReadRatio()
+	fmt.Printf("%-28s %12.0f ns p50 %12.0f ns p99 (replica-read ratio %.2f)\n",
+		"route/fanout-query", report.FanoutQueryP50Ns, report.FanoutQueryP99Ns, report.ReplicaReadRatio)
+
+	// Hedge budget: twice the unhedged p50, so only genuinely slow legs
+	// trigger a duplicate.
+	hedgeAfter := time.Duration(2*report.FanoutQueryP50Ns) * time.Nanosecond
+	report.HedgedQueryP50Ns, report.HedgedQueryP99Ns, m = runProbes(hedgeAfter)
+	report.HedgesFired = m.HedgesFired
+	report.Speedups["hedged_vs_unhedged_p99"] = ratio(report.FanoutQueryP99Ns, report.HedgedQueryP99Ns)
+	fmt.Printf("%-28s %12.0f ns p50 %12.0f ns p99 (%d hedges fired)\n",
+		"route/hedged-query", report.HedgedQueryP50Ns, report.HedgedQueryP99Ns, report.HedgesFired)
+
+	writeLinkIndexSection(out, "route", report)
+	fmt.Printf("\nrouted writes at %.2fx a single leader across %d partitions; replicas served %.0f%% of read legs → %s\n",
+		report.Speedups["routed_vs_direct_writes"], parts, 100*report.ReplicaReadRatio, out)
+}

@@ -11,6 +11,7 @@
 //	genlinkd -rule rule.json -snapshot index.snap               # restore if present, flush on shutdown
 //	genlinkd -rule rule.json -wal-dir /var/lib/genlink          # crash-safe: WAL + auto-snapshots
 //	genlinkd -follow leader:8080 -wal-dir /var/lib/replica      # read replica: tail the leader's WAL
+//	genlinkd -route "l1:8080,f1:8081;l2:8080,f2:8081"           # stateless routing tier over partition groups
 //
 // The corpus is hash-partitioned over -shards partitions (0 means one
 // per CPU), so writes stall only the shard they touch and queries fan
@@ -49,6 +50,18 @@
 // When a replica falls behind the leader's log compaction it re-
 // bootstraps from the leader's snapshot automatically.
 //
+// With -route the process serves no index at all: it is the stateless
+// scale-out routing tier (internal/linkrouter) over N partition groups,
+// each "leader,replica,..." and separated by semicolons. Entity IDs are
+// hash-partitioned across the groups with the index's own placement
+// function, write batches are split per owning partition and applied to
+// the leaders in parallel, match queries fan out to every group and
+// merge with the index's top-k contract. -max-lag serves reads from
+// replicas while their lag is within the bound, -hedge-after duplicates
+// slow fan-out legs, -route-poll paces the membership/lag poll. The
+// router follows 403 leader redirects (and survives kill -9 + promote;
+// see scripts/router_smoke.sh) and serves its own /metrics.
+//
 // -pprof serves net/http/pprof on a second, normally-loopback address so
 // the parallel ingest/recovery paths can be profiled in situ; it is off
 // by default and shares nothing with the service mux.
@@ -86,7 +99,8 @@
 //	                        query latency buckets, wal_records,
 //	                        wal_segments, wal_snapshot_seq,
 //	                        last_recovery_ms
-//	GET    /healthz         liveness
+//	GET    /healthz         liveness; ?max_lag=N gates on freshness:
+//	                        503 while replica_lag_records exceeds N
 package main
 
 import (
@@ -103,6 +117,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -135,8 +150,20 @@ func main() {
 		autoSnapT  = flag.Duration("auto-snapshot-interval", 0, "also auto-snapshot on this interval when records arrived (0 disables)")
 		follow     = flag.String("follow", "", "run as a read replica of this leader address (requires -wal-dir; excludes -rule/-dataset/-snapshot)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; off when empty)")
+		route      = flag.String("route", "", `run as a stateless routing tier over partition groups: "leader1,replica1,...;leader2,..." (excludes every index-serving flag)`)
+		maxLag     = flag.Uint64("max-lag", 0, "-route: serve reads from a replica only while its replica_lag_records is at most this (0 = fully caught up)")
+		hedgeAfter = flag.Duration("hedge-after", 0, "-route: duplicate a slow fan-out query leg to another node of the group after this budget (0 disables hedging)")
+		routePoll  = flag.Duration("route-poll", 500*time.Millisecond, "-route: membership/lag poll interval")
 	)
 	flag.Parse()
+
+	if *route != "" {
+		if *ruleFile != "" || *dataset != "" || *snapshot != "" || *walDir != "" || *follow != "" {
+			log.Fatal("-route is exclusive with -rule/-dataset/-snapshot/-wal-dir/-follow: the router serves no index of its own")
+		}
+		runRouter(*addr, *route, *maxLag, *hedgeAfter, *routePoll, *k)
+		return
+	}
 
 	bl := genlinkapi.BlockerByName(*blocker)
 	if bl == nil {
@@ -273,6 +300,68 @@ func main() {
 		} else if *walDir != "" {
 			log.Printf("final snapshot written to %s; log compacted", *walDir)
 		}
+	}
+}
+
+// parseRouteSpec turns "-route l1,f1;l2,f2" into partition groups:
+// semicolons separate groups, commas separate a group's nodes, and the
+// first node of each group is the router's initial leader guess.
+func parseRouteSpec(spec string) [][]string {
+	var groups [][]string
+	for _, gs := range strings.Split(spec, ";") {
+		var nodes []string
+		for _, n := range strings.Split(gs, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				nodes = append(nodes, n)
+			}
+		}
+		if len(nodes) > 0 {
+			groups = append(groups, nodes)
+		}
+	}
+	return groups
+}
+
+// runRouter serves the -route mode: the stateless routing tier over the
+// partition groups named in spec, with the same server timeouts and
+// graceful shutdown as an index-serving node. It never returns.
+func runRouter(addr, spec string, maxLag uint64, hedgeAfter, poll time.Duration, defaultK int) {
+	rt, err := genlinkapi.NewRouter(genlinkapi.RouterOptions{
+		Groups:       parseRouteSpec(spec),
+		MaxLag:       maxLag,
+		HedgeAfter:   hedgeAfter,
+		PollInterval: poll,
+		DefaultK:     defaultK,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("routing %d partition groups on %s (max lag %d, hedge after %v)", rt.Partitions(), addr, maxLag, hedgeAfter)
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutting down: draining in-flight requests...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		rt.Close()
 	}
 }
 
@@ -494,10 +583,44 @@ func (s *server) routes() http.Handler {
 	}
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz is liveness, with an optional freshness gate: GET
+// /healthz?max_lag=N answers 503 while this node's replica_lag_records
+// exceeds N, so a router or load balancer can stop sending reads to a
+// replica that has fallen behind. Leaders (and promoted replicas) have
+// zero lag by definition and always pass the gate; without max_lag the
+// endpoint is plain liveness.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("max_lag")
+	if raw == "" {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		return
+	}
+	maxLag, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid max_lag %q (want a non-negative integer)", raw))
+		return
+	}
+	role, lag := "leader", uint64(0)
+	if s.fol != nil {
+		st := s.fol.Status()
+		role, lag = st.Role, st.LagRecords
+	}
+	out := map[string]any{
+		"status":              "ok",
+		"role":                role,
+		"replica_lag_records": lag,
+		"max_lag":             maxLag,
+	}
+	if lag > maxLag {
+		out["status"] = "lagging"
+		writeJSON(w, http.StatusServiceUnavailable, out)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // matchResponse is the JSON shape of both match endpoints.

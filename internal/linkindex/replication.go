@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -64,7 +65,45 @@ var (
 	// extends the server's write deadline by this much per round, since a
 	// long-lived stream outlives any fixed per-response timeout.
 	replWriteTimeout = 30 * time.Second
+	// replSnapshotTimeout bounds one whole snapshot fetch (connect,
+	// headers and body): unlike the long-poll stream, a bootstrap download
+	// has no legitimate reason to sit idle forever, and an unbounded fetch
+	// against a wedged leader would wedge the follower's bootstrap with
+	// it. Generous because the body is a full corpus snapshot.
+	replSnapshotTimeout = 5 * time.Minute
 )
+
+// PooledTransport returns an http.Transport tuned for the intra-cluster
+// HTTP traffic of this package and the routing tier: bounded dials,
+// keep-alive connection pooling per backend so steady request flows
+// (snapshot fetches, router fan-out legs, membership polls) reuse
+// connections instead of paying a dial + slow-start per request. No
+// response-header or overall timeout is imposed here — the long-poll
+// /wal/stream tail must be allowed to idle — so callers that want a
+// deadline set http.Client.Timeout (see NewPooledClient) or use request
+// contexts.
+func PooledTransport() *http.Transport {
+	return &http.Transport{
+		DialContext: (&net.Dialer{
+			Timeout:   5 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:          256,
+		MaxIdleConnsPerHost:   32,
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ExpectContinueTimeout: time.Second,
+	}
+}
+
+// NewPooledClient returns an http.Client over a PooledTransport with the
+// given overall per-request timeout (0 means none — required for
+// long-poll streams). The follower's snapshot fetches and the router
+// share this constructor so every intra-cluster client pools
+// connections the same way.
+func NewPooledClient(timeout time.Duration) *http.Client {
+	return &http.Client{Transport: PooledTransport(), Timeout: timeout}
+}
 
 // writeStreamFrame encodes one frame (identical layout to a WAL record).
 func writeStreamFrame(w io.Writer, seq uint64, payload []byte) error {
@@ -431,8 +470,10 @@ type FollowerOptions struct {
 	Dir string
 	// Durable tunes the follower's local log and snapshots.
 	Durable DurableOptions
-	// Client overrides the HTTP client (nil means http.DefaultClient).
-	// Do not set a Timeout on it: the stream request is long-lived.
+	// Client overrides the HTTP client for both the stream tail and
+	// snapshot fetches (nil means clients over one PooledTransport: the
+	// stream tail timeout-exempt, snapshot fetches bounded). Do not set a
+	// Timeout on an override: the stream request is long-lived.
 	Client *http.Client
 	// ReconnectDelay paces reconnection after a dropped stream
 	// (default 500ms).
@@ -469,9 +510,15 @@ type ReplicationStatus struct {
 // (Query/Get/Stats via Index or Durable) are served from local state;
 // all mutation must come from the stream until Promote.
 type Follower struct {
-	opts   FollowerOptions
+	opts FollowerOptions
+	// client carries the long-poll /wal/stream tail: pooled transport, no
+	// overall timeout (the stream idles legitimately between writes).
 	client *http.Client
-	d      *DurableIndex
+	// snapClient carries bootstrap/snapshot fetches: same pooled
+	// transport, but with an explicit overall timeout so a wedged leader
+	// cannot hang a bootstrap forever.
+	snapClient *http.Client
+	d          *DurableIndex
 
 	cancel   context.CancelFunc
 	done     chan struct{}
@@ -505,7 +552,16 @@ func OpenFollower(opts FollowerOptions) (*Follower, error) {
 	}
 	f := &Follower{opts: opts, client: opts.Client, done: make(chan struct{}), startedAt: time.Now()}
 	if f.client == nil {
-		f.client = http.DefaultClient
+		// One pooled transport behind both clients: the stream client has
+		// no overall timeout (long poll), the snapshot client bounds each
+		// bootstrap fetch end to end.
+		tr := PooledTransport()
+		f.client = &http.Client{Transport: tr}
+		f.snapClient = &http.Client{Transport: tr, Timeout: replSnapshotTimeout}
+	} else {
+		// A caller-supplied client is used as-is for both paths; its
+		// timeout discipline is the caller's responsibility.
+		f.snapClient = f.client
 	}
 	if HasDurableState(opts.Dir) {
 		d, stats, err := Recover(opts.Dir, opts.Durable)
@@ -516,7 +572,7 @@ func OpenFollower(opts FollowerOptions) (*Follower, error) {
 			d.AppliedSeq(), stats.RecordsReplayed, stats.Torn)
 		f.d = d
 	} else {
-		seq, data, err := fetchLeaderSnapshot(context.Background(), f.client, opts.Leader)
+		seq, data, err := fetchLeaderSnapshot(context.Background(), f.snapClient, opts.Leader)
 		if err != nil {
 			return nil, err
 		}
@@ -642,7 +698,7 @@ func (f *Follower) tailOnce(ctx context.Context) error {
 // after the stream position was compacted away.
 func (f *Follower) rebootstrap(ctx context.Context) error {
 	applied := f.d.AppliedSeq()
-	seq, data, err := fetchLeaderSnapshot(ctx, f.client, f.opts.Leader)
+	seq, data, err := fetchLeaderSnapshot(ctx, f.snapClient, f.opts.Leader)
 	if err != nil {
 		return err
 	}

@@ -132,15 +132,26 @@ func (ix *ShardedIndex) Rule() *rule.Rule { return ix.rule }
 // Shards returns the number of hash partitions.
 func (ix *ShardedIndex) Shards() int { return len(ix.shards) }
 
-// ShardOf returns the index of the shard owning the given entity ID — a
-// pure function of (ID, shard count), exposed so operators can reason
-// about placement and tests can reconstruct per-shard partitions.
-func (ix *ShardedIndex) ShardOf(id string) int {
+// PartitionOf returns the partition owning the given entity ID among
+// parts partitions — the FNV-1a placement function shared by every layer
+// that hash-partitions by entity ID: ShardedIndex shards within one
+// process, and the scale-out router (internal/linkrouter) partitioning
+// entity IDs across leader/replica groups. A router over N groups whose
+// group g holds a ShardedIndex places IDs exactly where PartitionOf(id, N)
+// says, so cross-node placement is a pure function of (ID, group count).
+func PartitionOf(id string, parts int) int {
 	h := uint32(2166136261) // FNV-1a
 	for i := 0; i < len(id); i++ {
 		h = (h ^ uint32(id[i])) * 16777619
 	}
-	return int(h % uint32(len(ix.shards)))
+	return int(h % uint32(parts))
+}
+
+// ShardOf returns the index of the shard owning the given entity ID — a
+// pure function of (ID, shard count), exposed so operators can reason
+// about placement and tests can reconstruct per-shard partitions.
+func (ix *ShardedIndex) ShardOf(id string) int {
+	return PartitionOf(id, len(ix.shards))
 }
 
 // shardFor routes an entity ID to its owning shard.
@@ -229,9 +240,16 @@ type shardOps struct {
 // the owning shard index. Parallel recovery and snapshot restore reuse it
 // so every bulk path shares Apply's batch semantics exactly.
 func (ix *ShardedIndex) partitionBatch(b Batch) map[int]*shardOps {
+	return partitionOps(b, len(ix.shards))
+}
+
+// partitionOps is partitionBatch for an arbitrary partition count —
+// shared with SplitBatch so in-process sharding and cross-node routing
+// resolve a batch identically.
+func partitionOps(b Batch, parts int) map[int]*shardOps {
 	groups := make(map[int]*shardOps)
 	groupFor := func(id string) *shardOps {
-		si := ix.ShardOf(id)
+		si := PartitionOf(id, parts)
 		g := groups[si]
 		if g == nil {
 			g = &shardOps{pos: make(map[string]int)}
@@ -257,6 +275,28 @@ func (ix *ShardedIndex) partitionBatch(b Batch) map[int]*shardOps {
 		g.deletes = append(g.deletes, id)
 	}
 	return groups
+}
+
+// SplitBatch resolves a batch with Apply's exact dedup semantics — later
+// upsert occurrences of an ID win, a delete beats an upsert of the same
+// ID — and groups the resolved ops by PartitionOf(id, parts). Only
+// partitions the batch touches appear in the result. The scale-out
+// router splits client write batches across partition groups with this,
+// so a batch routed over N groups lands exactly as it would through one
+// N-shard Apply (the differential router tests pin that equality).
+func SplitBatch(b Batch, parts int) map[int]Batch {
+	out := make(map[int]Batch)
+	for pi, g := range partitionOps(b, parts) {
+		var pb Batch
+		for _, e := range g.upserts {
+			if e != nil {
+				pb.Upserts = append(pb.Upserts, e)
+			}
+		}
+		pb.Deletes = g.deletes
+		out[pi] = pb
+	}
+	return out
 }
 
 // applyShardOps installs one shard's resolved ops under its write lock —
@@ -470,12 +510,18 @@ func (ix *ShardedIndex) Query(probe *entity.Entity, k int) []matching.Link {
 	ix.fanOut(func(i int, sh *shard) {
 		perShard[i] = sh.query(probe, k, cfg, ix.opts.Threshold)
 	})
-	return mergeTopK(perShard, k)
+	return MergeTopK(perShard, k)
 }
 
-// mergeTopK merges per-shard result lists into the final deterministic
-// order, truncated to k when k > 0.
-func mergeTopK(perShard [][]matching.Link, k int) []matching.Link {
+// MergeTopK merges per-partition result lists into the final
+// deterministic order — descending score, ties broken by ascending
+// candidate ID — truncated to k when k > 0. It is the merge step of the
+// sharded Query fan-out, exported because the cross-node contract is the
+// same one: a router fanning a top-k query out to partition groups
+// merges the per-group winners with exactly this function, so routed
+// results equal one big index's (each input list need only contain that
+// partition's top k).
+func MergeTopK(perShard [][]matching.Link, k int) []matching.Link {
 	var links []matching.Link
 	for _, ls := range perShard {
 		links = append(links, ls...)
@@ -516,7 +562,7 @@ func (ix *ShardedIndex) QueryID(id string, k int) ([]matching.Link, bool) {
 		}
 		perShard[i] = sh.query(probe, k, cfg, ix.opts.Threshold)
 	})
-	return mergeTopK(perShard, k), true
+	return MergeTopK(perShard, k), true
 }
 
 // fanOut runs f once per shard — concurrently when the index has more

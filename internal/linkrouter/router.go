@@ -1,0 +1,572 @@
+// Package linkrouter is the scale-out routing tier over genlinkd
+// leader/replica groups: a stateless HTTP router that hash-partitions
+// entity IDs across N partition groups — each a leader plus any number
+// of WAL-shipping read replicas — the same way ShardedIndex partitions
+// across in-process shards (linkindex.PartitionOf is the shared
+// placement function).
+//
+// Writes: a POST /entities batch is split per owning partition with the
+// Apply pipeline's exact dedup semantics (linkindex.SplitBatch) and the
+// per-partition sub-batches are applied to the N leaders in parallel
+// over one pooled, keep-alive transport. Aggregate write throughput
+// scales with partitions because each leader appends and fsyncs only
+// its slice of the log. When a leader answers 403 (an unpromoted
+// replica) the router retargets the group's leader to the address named
+// in the response body and retries; when a leader is unreachable the
+// router fails over to the group's other nodes, which is how it finds a
+// freshly promoted replica after the old leader died.
+//
+// Reads: GET /entities/{id} routes to the owning group, served from a
+// replica whose polled replica_lag_records is within Options.MaxLag
+// (round-robin across eligible replicas) and falling back to the
+// leader. Top-k /match fans out to every group concurrently and merges
+// the per-group winners with linkindex.MergeTopK — the per-shard
+// candidate-semantics contract of the sharded index is the cross-node
+// contract, so a quiescent router over N groups answers exactly like
+// one big index for partition-invariant blocking (pinned by the
+// differential tests in cmd/genlinkd). Slow fan-out legs are hedged: if
+// a leg has not answered within Options.HedgeAfter, the same request is
+// fired at another node of that group and the first answer wins, taming
+// the p99 a single slow or GC-pausing node would otherwise set.
+//
+// Membership and freshness come from polling each node's GET /metrics
+// (role, applied_seq, replica_lag_records); a node that stops answering
+// is excluded from reads until it answers again. The router itself
+// serves GET /metrics with per-partition latency buckets, hedge and
+// retarget counters and the replica-read ratio.
+package linkrouter
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"genlink/internal/linkindex"
+)
+
+// Options configures New.
+type Options struct {
+	// Groups lists the nodes of each partition group as base addresses
+	// ("host:port" or full URLs). Entity IDs are placed by
+	// linkindex.PartitionOf(id, len(Groups)). The first node of a group
+	// is the initial leader guess; the membership poller and the 403 /
+	// failover write paths correct it.
+	Groups [][]string
+	// MaxLag is the freshness knob: reads are served from a replica only
+	// while its polled replica_lag_records is ≤ MaxLag, otherwise they
+	// fall back to the group's leader. 0 (the default) means replicas
+	// must be fully caught up at the last poll.
+	MaxLag uint64
+	// HedgeAfter fires a second copy of a fan-out query leg at another
+	// node of the group when the first has not answered within this
+	// budget; the first answer wins. 0 disables hedging.
+	HedgeAfter time.Duration
+	// PollInterval paces the membership/lag poll (default 500ms).
+	PollInterval time.Duration
+	// RequestTimeout bounds each proxied request leg (default 15s).
+	RequestTimeout time.Duration
+	// DefaultK is the k used when a match request names none (default 10).
+	DefaultK int
+	// Client overrides the backend HTTP client (nil means a client over
+	// linkindex.PooledTransport; per-leg deadlines come from request
+	// contexts, so the client itself needs no Timeout).
+	Client *http.Client
+	// Logf receives router log lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// nodeState is the polled standing of one backend node.
+type nodeState struct {
+	role       string
+	lag        uint64
+	appliedSeq uint64
+	healthy    bool
+}
+
+// group is one partition group: a fixed node set plus the router's
+// mutable view of it (polled states and the current leader guess).
+type group struct {
+	mu     sync.Mutex
+	nodes  []string
+	state  map[string]nodeState
+	leader string
+	rr     uint32 // round-robin cursor over eligible replicas
+}
+
+// setLeader records addr as the group's leader guess and reports whether
+// that changed it.
+func (g *group) setLeader(addr string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.leader == addr {
+		return false
+	}
+	g.leader = addr
+	return true
+}
+
+// writeOrder returns the node addresses in write-attempt order: the
+// current leader guess first, then the remaining nodes.
+func (g *group) writeOrder() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	order := make([]string, 0, len(g.nodes))
+	order = append(order, g.leader)
+	for _, a := range g.nodes {
+		if a != g.leader {
+			order = append(order, a)
+		}
+	}
+	return order
+}
+
+// pickRead selects the node a read should go to: a healthy follower
+// within maxLag (round-robin across the eligible ones), else the leader
+// guess. isReplica reports which kind was picked.
+func (g *group) pickRead(maxLag uint64) (addr string, isReplica bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var eligible []string
+	for _, a := range g.nodes {
+		if st, ok := g.state[a]; ok && st.healthy && st.role == "follower" && st.lag <= maxLag {
+			eligible = append(eligible, a)
+		}
+	}
+	if len(eligible) > 0 {
+		i := int(g.rr) % len(eligible)
+		g.rr++
+		return eligible[i], true
+	}
+	return g.leader, false
+}
+
+// alternate returns a hedge target distinct from primary: the leader
+// when the primary was a replica, otherwise another healthy node of the
+// group ("" when the group has nothing else to offer).
+func (g *group) alternate(primary string) string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if primary != g.leader {
+		return g.leader
+	}
+	for _, a := range g.nodes {
+		if a == primary {
+			continue
+		}
+		if st, ok := g.state[a]; !ok || st.healthy {
+			return a
+		}
+	}
+	return ""
+}
+
+// markUnhealthy flags addr until the next successful poll, so reads stop
+// selecting a node the write path just found dead.
+func (g *group) markUnhealthy(addr string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := g.state[addr]
+	st.healthy = false
+	g.state[addr] = st
+}
+
+// legLatencyBuckets defines the per-partition latency histogram of
+// proxied query legs: an upper bound (exclusive, in nanoseconds) with
+// its label, ascending, plus a final catch-all.
+var legLatencyBuckets = []struct {
+	boundNs int64
+	label   string
+}{
+	{500_000, "<0.5ms"},
+	{1_000_000, "<1ms"},
+	{5_000_000, "<5ms"},
+	{10_000_000, "<10ms"},
+	{50_000_000, "<50ms"},
+	{100_000_000, "<100ms"},
+	{1_000_000_000, "<1s"},
+	{0, "+inf"},
+}
+
+// routerMetrics is the router's counter set. Slices are indexed by
+// partition; all counters are monotonic.
+type routerMetrics struct {
+	writeBatches  atomic.Int64
+	routedWrites  []atomic.Int64 // entities upserted, per partition
+	routedDeletes []atomic.Int64
+	queries       atomic.Int64 // client-facing match queries
+	hedgesFired   atomic.Int64
+	hedgeWins     atomic.Int64
+	replicaReads  atomic.Int64 // read legs answered by a replica
+	leaderReads   atomic.Int64
+	retargets     atomic.Int64     // leader-guess changes (403 redirect or failover)
+	legErrors     atomic.Int64     // fan-out legs that failed both primary and hedge
+	legBuckets    [][]atomic.Int64 // [partition][bucket]
+}
+
+func (m *routerMetrics) observeLeg(part int, d time.Duration) {
+	ns := d.Nanoseconds()
+	last := len(legLatencyBuckets) - 1
+	for i, b := range legLatencyBuckets[:last] {
+		if ns < b.boundNs {
+			m.legBuckets[part][i].Add(1)
+			return
+		}
+	}
+	m.legBuckets[part][last].Add(1)
+}
+
+func (m *routerMetrics) observeRead(isReplica bool) {
+	if isReplica {
+		m.replicaReads.Add(1)
+	} else {
+		m.leaderReads.Add(1)
+	}
+}
+
+// Snapshot is a point-in-time copy of the router's counters, exposed for
+// benchmarks and tests; GET /metrics serves the same numbers.
+type Snapshot struct {
+	WriteBatches  int64
+	RoutedWrites  []int64
+	RoutedDeletes []int64
+	Queries       int64
+	HedgesFired   int64
+	HedgeWins     int64
+	ReplicaReads  int64
+	LeaderReads   int64
+	Retargets     int64
+	LegErrors     int64
+}
+
+// ReplicaReadRatio is the fraction of read legs served by replicas.
+func (s Snapshot) ReplicaReadRatio() float64 {
+	total := s.ReplicaReads + s.LeaderReads
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ReplicaReads) / float64(total)
+}
+
+// Router routes the genlinkd client API across partition groups. It is
+// stateless beyond counters and the polled membership view: any number
+// of routers can front the same groups, and a restarted router rebuilds
+// its view from one poll round.
+type Router struct {
+	opts   Options
+	client *http.Client
+	groups []*group
+	m      routerMetrics
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// normalizeAddr turns "host:port" into "http://host:port" and strips a
+// trailing slash, mirroring the follower's leader normalization.
+func normalizeAddr(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// New validates opts, runs one synchronous poll round (so the first
+// request already sees roles and lag) and starts the background poller.
+// Close stops it.
+func New(opts Options) (*Router, error) {
+	if len(opts.Groups) == 0 {
+		return nil, errors.New("linkrouter: at least one partition group is required")
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = 500 * time.Millisecond
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 15 * time.Second
+	}
+	if opts.DefaultK <= 0 {
+		opts.DefaultK = 10
+	}
+	rt := &Router{
+		opts:   opts,
+		client: opts.Client,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if rt.client == nil {
+		rt.client = linkindex.NewPooledClient(0)
+	}
+	for gi, addrs := range opts.Groups {
+		if len(addrs) == 0 {
+			return nil, fmt.Errorf("linkrouter: partition group %d has no nodes", gi)
+		}
+		g := &group{state: make(map[string]nodeState)}
+		for _, a := range addrs {
+			g.nodes = append(g.nodes, normalizeAddr(a))
+		}
+		g.leader = g.nodes[0]
+		rt.groups = append(rt.groups, g)
+	}
+	rt.m.routedWrites = make([]atomic.Int64, len(rt.groups))
+	rt.m.routedDeletes = make([]atomic.Int64, len(rt.groups))
+	rt.m.legBuckets = make([][]atomic.Int64, len(rt.groups))
+	for i := range rt.m.legBuckets {
+		rt.m.legBuckets[i] = make([]atomic.Int64, len(legLatencyBuckets))
+	}
+	rt.pollOnce()
+	go rt.pollLoop()
+	return rt, nil
+}
+
+// Close stops the membership poller. In-flight requests finish normally.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	<-rt.done
+}
+
+// Partitions returns the partition-group count.
+func (rt *Router) Partitions() int { return len(rt.groups) }
+
+// Metrics returns a point-in-time copy of the router counters.
+func (rt *Router) Metrics() Snapshot {
+	s := Snapshot{
+		WriteBatches: rt.m.writeBatches.Load(),
+		Queries:      rt.m.queries.Load(),
+		HedgesFired:  rt.m.hedgesFired.Load(),
+		HedgeWins:    rt.m.hedgeWins.Load(),
+		ReplicaReads: rt.m.replicaReads.Load(),
+		LeaderReads:  rt.m.leaderReads.Load(),
+		Retargets:    rt.m.retargets.Load(),
+		LegErrors:    rt.m.legErrors.Load(),
+	}
+	for i := range rt.groups {
+		s.RoutedWrites = append(s.RoutedWrites, rt.m.routedWrites[i].Load())
+		s.RoutedDeletes = append(s.RoutedDeletes, rt.m.routedDeletes[i].Load())
+	}
+	return s
+}
+
+// pollLoop refreshes membership and lag until Close.
+func (rt *Router) pollLoop() {
+	defer close(rt.done)
+	tick := time.NewTicker(rt.opts.PollInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-tick.C:
+			rt.pollOnce()
+		}
+	}
+}
+
+// pollOnce polls every node's /metrics concurrently and folds the
+// answers into the group states. A node whose poll fails is marked
+// unhealthy (excluded from replica reads) until it answers again; a node
+// reporting role "leader" becomes its group's leader guess.
+func (rt *Router) pollOnce() {
+	var wg sync.WaitGroup
+	for _, g := range rt.groups {
+		for _, addr := range g.nodes {
+			wg.Add(1)
+			go func(g *group, addr string) {
+				defer wg.Done()
+				st, err := rt.pollNode(addr)
+				g.mu.Lock()
+				if err != nil {
+					prev := g.state[addr]
+					prev.healthy = false
+					g.state[addr] = prev
+					g.mu.Unlock()
+					return
+				}
+				g.state[addr] = st
+				leaderChanged := st.role == "leader" && g.leader != addr
+				if leaderChanged {
+					g.leader = addr
+				}
+				g.mu.Unlock()
+				if leaderChanged {
+					rt.m.retargets.Add(1)
+					rt.opts.logf("poll: %s reports role leader; retargeting its group", addr)
+				}
+			}(g, addr)
+		}
+	}
+	wg.Wait()
+}
+
+// pollNode fetches one node's /metrics and extracts the replication
+// standing.
+func (rt *Router) pollNode(addr string) (nodeState, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), min(rt.opts.RequestTimeout, 5*time.Second))
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/metrics", nil)
+	if err != nil {
+		return nodeState{}, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nodeState{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nodeState{}, fmt.Errorf("linkrouter: %s/metrics: %s", addr, resp.Status)
+	}
+	var m struct {
+		Role       string `json:"role"`
+		AppliedSeq uint64 `json:"applied_seq"`
+		LagRecords uint64 `json:"replica_lag_records"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&m); err != nil {
+		return nodeState{}, err
+	}
+	return nodeState{role: m.Role, lag: m.LagRecords, appliedSeq: m.AppliedSeq, healthy: true}, nil
+}
+
+// do issues one proxied request with the router's per-leg deadline and
+// returns the status plus the (bounded) body.
+func (rt *Router) do(ctx context.Context, method, url string, body []byte) (int, []byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, rt.opts.RequestTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+// writeGroup sends a mutation to partition group gi, following 403
+// leader redirects and failing over across the group's nodes: the
+// current leader guess is tried first; a 403 response retargets to the
+// address its body names (how the router finds the leader when pointed
+// at a replica, and the new leader after a promote it was told about); a
+// transport error or 5xx marks the node unhealthy and moves on (how it
+// finds a freshly promoted replica after the old leader died). Any
+// other status is authoritative and returned as-is.
+func (rt *Router) writeGroup(ctx context.Context, gi int, method, path string, body []byte) (int, []byte, error) {
+	g := rt.groups[gi]
+	tried := make(map[string]bool)
+	queue := g.writeOrder()
+	var lastErr error
+	for len(queue) > 0 {
+		addr := queue[0]
+		queue = queue[1:]
+		if tried[addr] {
+			continue
+		}
+		tried[addr] = true
+		status, data, err := rt.do(ctx, method, addr+path, body)
+		switch {
+		case err != nil || status >= 500:
+			if err != nil {
+				lastErr = err
+			} else {
+				lastErr = fmt.Errorf("linkrouter: %s%s: status %d: %s", addr, path, status, truncate(data))
+			}
+			g.markUnhealthy(addr)
+			continue
+		case status == http.StatusForbidden:
+			// An unpromoted replica: its body names the leader. Retarget
+			// and try there next (in front of the remaining candidates).
+			var reject struct {
+				Leader string `json:"leader"`
+			}
+			_ = json.Unmarshal(data, &reject)
+			lastErr = fmt.Errorf("linkrouter: %s is a read-only replica of %s", addr, reject.Leader)
+			if reject.Leader != "" {
+				target := normalizeAddr(reject.Leader)
+				if g.setLeader(target) {
+					rt.m.retargets.Add(1)
+					rt.opts.logf("write: %s answered 403; retargeting partition %d to leader %s", addr, gi, target)
+				}
+				if !tried[target] {
+					queue = append([]string{target}, queue...)
+				}
+			}
+			continue
+		default:
+			if g.setLeader(addr) {
+				rt.m.retargets.Add(1)
+				rt.opts.logf("write: partition %d leader is %s", gi, addr)
+			}
+			return status, data, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("linkrouter: no reachable leader in partition %d", gi)
+	}
+	return 0, nil, lastErr
+}
+
+// readGroup sends a read to partition group gi, lag-aware: an eligible
+// replica first (falling back to the leader on transport failure or
+// 5xx), counting where the answer actually came from.
+func (rt *Router) readGroup(ctx context.Context, gi int, method, path string, body []byte) (int, []byte, error) {
+	g := rt.groups[gi]
+	addr, isReplica := g.pickRead(rt.opts.MaxLag)
+	status, data, err := rt.do(ctx, method, addr+path, body)
+	if err == nil && status < 500 {
+		rt.m.observeRead(isReplica)
+		return status, data, nil
+	}
+	g.markUnhealthy(addr)
+	if isReplica {
+		// Replica failed mid-read: the leader is the fallback.
+		g.mu.Lock()
+		leader := g.leader
+		g.mu.Unlock()
+		if leader != addr {
+			status, data, err = rt.do(ctx, method, leader+path, body)
+			if err == nil && status < 500 {
+				rt.m.observeRead(false)
+				return status, data, nil
+			}
+		}
+	}
+	if err == nil {
+		err = fmt.Errorf("linkrouter: partition %d read: status %d: %s", gi, status, truncate(data))
+	}
+	return 0, nil, err
+}
+
+// truncate bounds an upstream body for error messages.
+func truncate(data []byte) string {
+	const n = 200
+	if len(data) > n {
+		return string(data[:n]) + "…"
+	}
+	return string(data)
+}

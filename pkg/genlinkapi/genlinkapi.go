@@ -33,6 +33,7 @@ import (
 	"genlink/internal/evalx"
 	"genlink/internal/genlink"
 	"genlink/internal/linkindex"
+	"genlink/internal/linkrouter"
 	"genlink/internal/matching"
 	"genlink/internal/rdf"
 	"genlink/internal/rule"
@@ -333,6 +334,34 @@ func FsyncPolicyByName(name string) (FsyncPolicy, bool) {
 // DurableIndex.ServeWALStream and DurableIndex.ServeWALSnapshot.
 func OpenFollower(o FollowerOptions) (*Follower, error) {
 	return linkindex.OpenFollower(o)
+}
+
+// Router is the scale-out routing tier: a stateless HTTP router that
+// hash-partitions entity IDs across leader/replica partition groups,
+// splits write batches per owning partition, fans match queries out to
+// every group (lag-aware replica reads, hedged slow legs) and merges
+// with the index's top-k contract. See internal/linkrouter.
+type Router = linkrouter.Router
+
+// RouterOptions configures NewRouter; Groups lists each partition
+// group's nodes (first node is the initial leader guess).
+type RouterOptions = linkrouter.Options
+
+// RouterMetrics is a point-in-time copy of a Router's counters.
+type RouterMetrics = linkrouter.Snapshot
+
+// NewRouter validates opts, runs one synchronous membership/lag poll
+// and starts the background poller. Router.Handler serves the genlinkd
+// client API over the partition groups; Router.Close stops the poller.
+func NewRouter(opts RouterOptions) (*Router, error) {
+	return linkrouter.New(opts)
+}
+
+// PartitionOf is the placement function shared by the sharded index and
+// the routing tier: the owning partition of an entity ID among parts
+// partitions (FNV-1a mod parts).
+func PartitionOf(id string, parts int) int {
+	return linkindex.PartitionOf(id, parts)
 }
 
 // TokenBlocking returns the default blocking strategy: candidates share a
