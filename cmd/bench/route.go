@@ -64,7 +64,9 @@ func routeBackend(dix *linkindex.DurableIndex, fol *linkindex.Follower) *http.Se
 	writeJSON := func(w http.ResponseWriter, status int, v any) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(status)
-		_ = json.NewEncoder(w).Encode(v)
+		if err := json.NewEncoder(w).Encode(v); err != nil {
+			log.Printf("bench: route backend: write response: %v", err)
+		}
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /entities", func(w http.ResponseWriter, r *http.Request) {
@@ -171,7 +173,7 @@ func runRouteWorkload(ds *entity.Dataset, out, blockerName string, batchSize, pa
 		Speedups:   map[string]float64{},
 	}
 
-	client := linkindex.NewPooledClient(0)
+	client := linkindex.NewPooledClient(60 * time.Second)
 	postBatches := func(url string) time.Duration {
 		t0 := time.Now()
 		for i := 0; i < len(corpus); i += batchSize {

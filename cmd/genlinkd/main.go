@@ -502,7 +502,7 @@ type server struct {
 	// committed on graceful shutdown). bfMu serializes session lifecycle
 	// against backfill applies.
 	bfMu sync.Mutex
-	bf   *genlinkapi.BackfillSession
+	bf   *genlinkapi.BackfillSession // guarded by bfMu
 }
 
 func newServer(ix *genlinkapi.Index, defaultK int, snapshotPath string) *server {

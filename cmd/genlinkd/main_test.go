@@ -328,7 +328,7 @@ func TestShutdownFlushesSnapshot(t *testing.T) {
 	}
 	go hs.Serve(ln)
 	url := "http://" + ln.Addr().String()
-	c := &http.Client{}
+	c := &http.Client{Timeout: 10 * time.Second}
 	if code := doJSON(t, c, "POST", url+"/entities", entityJSON("a", "Grace Hopper", "compilers"), nil); code != 200 {
 		t.Fatalf("POST /entities = %d", code)
 	}

@@ -1,0 +1,339 @@
+// Package analysis is genlint's stdlib-only static-analysis driver: it
+// loads and type-checks every package in the module (go/parser +
+// go/types, no golang.org/x/tools — the module stays buildable offline)
+// and runs a suite of project-specific analyzers over the syntax trees,
+// each mechanizing a bug class this codebase has actually shipped and
+// hand-fixed in past PRs:
+//
+//   - lockguard: fields annotated `// guarded by <mu>` accessed in a
+//     method that never locks that mutex (the Metrics-vs-resetToSnapshot
+//     unlocked `d.wal` read).
+//   - errsink: discarded errors from Sync/Flush, Close on a write path,
+//     json.Encoder.Encode in HTTP handlers, and os.Rename (the dropped
+//     fsync-error class).
+//   - noclientdefault: http.DefaultClient, bare http.Get/Post/Head,
+//     http.Client literals without a Timeout, and NewPooledClient(0)
+//     (the follower-bootstrap-on-DefaultClient class).
+//   - maxbytesnil: http.MaxBytesReader(nil, …) — panics instead of
+//     answering 413.
+//   - leakyticker: time.After inside a for loop, and NewTicker/NewTimer
+//     whose Stop is missing or skippable on some exit path.
+//
+// A finding is suppressed by a `//genlint:ignore <analyzer> <reason>`
+// comment on the same line or the line directly above; the reason is
+// mandatory — an undocumented suppression is itself a finding. New
+// analyzers implement Run(*Pass) and register in All (analyzers.go);
+// the `// want`-annotated fixture corpus under testdata/src drives the
+// self-tests.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the analyzer that raised it,
+// and a message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one check. Run inspects the Pass's package and reports
+// findings through Pass.Reportf.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and
+	// //genlint:ignore directives.
+	Name string
+	// Doc is a one-line description of what the analyzer enforces.
+	Doc string
+	// Run executes the check over one type-checked package.
+	Run func(*Pass)
+}
+
+// Pass hands one analyzer one loaded package: the syntax trees plus
+// whatever type information survived checking (analyzers must tolerate
+// partial Info — a package with type errors still gets analyzed
+// syntactically).
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+	// importsByFile caches each file's import-name→path map for the
+	// syntactic fallback when type info is incomplete.
+	importsByFile map[*ast.File]map[string]string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// fileImports returns file's import-name→path map (alias, or the path's
+// last element when unaliased).
+func (p *Pass) fileImports(file *ast.File) map[string]string {
+	if m, ok := p.importsByFile[file]; ok {
+		return m
+	}
+	m := make(map[string]string)
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name != "_" && name != "." {
+			m[name] = path
+		}
+	}
+	if p.importsByFile == nil {
+		p.importsByFile = make(map[*ast.File]map[string]string)
+	}
+	p.importsByFile[file] = m
+	return m
+}
+
+// fileOf returns the *ast.File containing pos.
+func (p *Pass) fileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// IsPkgSelector reports whether e is a selector of member `name` of the
+// package imported as pkgPath (e.g. http.DefaultClient). It prefers
+// type information and falls back to the file's import aliases.
+func (p *Pass) IsPkgSelector(e ast.Expr, pkgPath, name string) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if p.Info != nil {
+		if obj, ok := p.Info.Uses[id]; ok {
+			pn, ok := obj.(*types.PkgName)
+			return ok && pn.Imported().Path() == pkgPath
+		}
+	}
+	f := p.fileOf(id.Pos())
+	if f == nil {
+		return false
+	}
+	return p.fileImports(f)[id.Name] == pkgPath
+}
+
+// IsPkgCall reports whether call invokes the package-level function
+// pkgPath.name.
+func (p *Pass) IsPkgCall(call *ast.CallExpr, pkgPath, name string) bool {
+	return p.IsPkgSelector(call.Fun, pkgPath, name)
+}
+
+// TypeIs reports whether e's static type is (a pointer to) the named
+// type pkgPath.name. False when type information is unavailable.
+func (p *Pass) TypeIs(e ast.Expr, pkgPath, name string) bool {
+	if p.Info == nil {
+		return false
+	}
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// walkStack traverses root like ast.Inspect but hands fn the stack of
+// ancestor nodes (outermost first, not including n itself).
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// ignoreDirective is one parsed //genlint:ignore comment.
+type ignoreDirective struct {
+	pos       token.Position
+	analyzers []string
+	reason    string
+	malformed string // non-empty: why the directive is invalid
+}
+
+const ignorePrefix = "genlint:ignore"
+
+// parseIgnores extracts every //genlint:ignore directive from file.
+func parseIgnores(fset *token.FileSet, file *ast.File, known map[string]bool) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimPrefix(text, "/*")
+			text = strings.TrimSuffix(text, "*/")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, ignorePrefix) {
+				continue
+			}
+			d := ignoreDirective{pos: fset.Position(c.Pos())}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+			fields := strings.Fields(rest)
+			switch {
+			case len(fields) == 0:
+				d.malformed = "genlint:ignore needs an analyzer name and a justification"
+			case len(fields) == 1:
+				d.malformed = fmt.Sprintf("genlint:ignore %s needs a justification (why is this safe?)", fields[0])
+			default:
+				d.analyzers = strings.Split(fields[0], ",")
+				d.reason = strings.Join(fields[1:], " ")
+				for _, name := range d.analyzers {
+					if !known[name] {
+						d.malformed = fmt.Sprintf("genlint:ignore names unknown analyzer %q", name)
+					}
+				}
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// applySuppressions drops diagnostics covered by an ignore directive on
+// the same line or the line directly above, and turns malformed
+// directives into diagnostics of their own (analyzer "genlint").
+func applySuppressions(diags []Diagnostic, directives []ignoreDirective) []Diagnostic {
+	// (file, line) → analyzers suppressed at that line.
+	type key struct {
+		file string
+		line int
+	}
+	suppressed := make(map[key]map[string]bool)
+	var out []Diagnostic
+	for _, d := range directives {
+		if d.malformed != "" {
+			out = append(out, Diagnostic{Pos: d.pos, Analyzer: "genlint", Message: d.malformed})
+			continue
+		}
+		for _, name := range d.analyzers {
+			for _, line := range []int{d.pos.Line, d.pos.Line + 1} {
+				k := key{d.pos.Filename, line}
+				if suppressed[k] == nil {
+					suppressed[k] = make(map[string]bool)
+				}
+				suppressed[k][name] = true
+			}
+		}
+	}
+	for _, dg := range diags {
+		if s := suppressed[key{dg.Pos.Filename, dg.Pos.Line}]; s != nil && s[dg.Analyzer] {
+			continue
+		}
+		out = append(out, dg)
+	}
+	return out
+}
+
+// RunPackages runs every analyzer over every package and returns the
+// surviving diagnostics (suppressions applied, malformed suppressions
+// reported), sorted by position.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, az := range analyzers {
+		known[az.Name] = true
+	}
+	var diags []Diagnostic
+	var directives []ignoreDirective
+	seenFile := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			// A file can appear in two packages (in-package tests load the
+			// non-test files again for the external test package's import);
+			// parse its directives once.
+			name := pkg.Fset.Position(f.Pos()).Filename
+			if !seenFile[name] {
+				seenFile[name] = true
+				directives = append(directives, parseIgnores(pkg.Fset, f, known)...)
+			}
+		}
+		for _, az := range analyzers {
+			pass := &Pass{
+				Analyzer: az,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			pass.report = func(d Diagnostic) { diags = append(diags, d) }
+			az.Run(pass)
+		}
+	}
+	diags = applySuppressions(diags, directives)
+	// Analyzing a package and its external test package visits shared
+	// files twice; dedupe identical findings.
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// guardedByRe matches the field annotation lockguard keys on. Kept here
+// so the doc comment and the analyzer agree on one syntax.
+var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)

@@ -1,0 +1,242 @@
+package analysis_test
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"genlink/internal/analysis"
+)
+
+// want is one `// want "regexp"` expectation from a fixture file. The
+// pattern is matched against "analyzer: message" so a want can pin the
+// analyzer as well as the text.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// parseWantPatterns splits the text after `// want` into its quoted
+// patterns; both `...` and "..." quoting are accepted (backquotes keep
+// regexes with embedded double quotes readable).
+func parseWantPatterns(rest string) ([]string, error) {
+	var out []string
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquoted want pattern")
+			}
+			out = append(out, rest[1:1+end])
+			rest = strings.TrimSpace(rest[end+2:])
+		case '"':
+			q, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted want pattern: %w", err)
+			}
+			s, err := strconv.Unquote(q)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+			rest = strings.TrimSpace(rest[len(q):])
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted, got %q", rest)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no pattern")
+	}
+	return out, nil
+}
+
+// collectWants scans every fixture file in dir for `// want` comments.
+func collectWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	var wants []*want
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			text := sc.Text()
+			i := strings.Index(text, "// want ")
+			if i < 0 {
+				continue
+			}
+			pats, err := parseWantPatterns(text[i+len("// want "):])
+			if err != nil {
+				t.Errorf("%s:%d: %v", path, line, err)
+				continue
+			}
+			for _, p := range pats {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					t.Errorf("%s:%d: bad want regexp %q: %v", path, line, p, err)
+					continue
+				}
+				wants = append(wants, &want{file: e.Name(), line: line, re: re})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return wants
+}
+
+// runFixture runs the full analyzer suite over one fixture package and
+// checks the diagnostics against its `// want` comments: every
+// diagnostic must be wanted, every want must be hit, and the fixture
+// must type-check cleanly (a fixture with type errors tests nothing).
+func runFixture(t *testing.T, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	diags, typeErrs, err := analysis.Run(dir, []string{"."}, analysis.All(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pkg, n := range typeErrs {
+		t.Errorf("fixture %s: %d type error(s) in %s", name, n, pkg)
+	}
+	wants := collectWants(t, dir)
+
+	for _, d := range diags {
+		text := d.Analyzer + ": " + d.Message
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != filepath.Base(d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(text) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want %q matched no diagnostic", filepath.Join(dir, w.file), w.line, w.re)
+		}
+	}
+}
+
+func TestLockGuardFixture(t *testing.T)       { runFixture(t, "lockguard") }
+func TestErrSinkFixture(t *testing.T)         { runFixture(t, "errsink") }
+func TestNoClientDefaultFixture(t *testing.T) { runFixture(t, "noclientdefault") }
+func TestMaxBytesNilFixture(t *testing.T)     { runFixture(t, "maxbytesnil") }
+func TestLeakyTickerFixture(t *testing.T)     { runFixture(t, "leakyticker") }
+
+// TestIgnoreDirectives pins the directive parser's behavior on the
+// ignore fixture: malformed directives (no analyzer, no justification,
+// unknown analyzer) become findings of their own and do not suppress,
+// while the one valid directive does suppress.
+func TestIgnoreDirectives(t *testing.T) {
+	diags, typeErrs, err := analysis.Run(filepath.Join("testdata", "src", "ignore"), []string{"."}, analysis.All(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pkg, n := range typeErrs {
+		t.Errorf("ignore fixture: %d type error(s) in %s", n, pkg)
+	}
+	var genlint, noclient []analysis.Diagnostic
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "genlint":
+			genlint = append(genlint, d)
+		case "noclientdefault":
+			noclient = append(noclient, d)
+		default:
+			t.Errorf("unexpected analyzer %q: %s", d.Analyzer, d)
+		}
+	}
+	if len(genlint) != 3 {
+		t.Errorf("got %d genlint (malformed-directive) findings, want 3: %v", len(genlint), genlint)
+	}
+	for _, wanted := range []string{
+		"needs an analyzer name",
+		"needs a justification",
+		"unknown analyzer",
+	} {
+		found := false
+		for _, d := range genlint {
+			if strings.Contains(d.Message, wanted) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no malformed-directive finding mentioning %q in %v", wanted, genlint)
+		}
+	}
+	// Three of the four http.DefaultClient uses survive (their
+	// directives were malformed); the valid suppression removes the
+	// fourth.
+	if len(noclient) != 3 {
+		t.Errorf("got %d noclientdefault findings, want 3 (one validly suppressed): %v", len(noclient), noclient)
+	}
+}
+
+// TestFixtureCorpusFails is the exits-non-zero-on-the-corpus gate:
+// running genlint's suite over the whole fixture tree must produce
+// findings, and every analyzer must contribute at least one — if an
+// analyzer stops firing on its own fixtures, this fails before the
+// fixture diff does.
+func TestFixtureCorpusFails(t *testing.T) {
+	diags, _, err := analysis.Run(filepath.Join("testdata", "src"), []string{"./..."}, analysis.All(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("fixture corpus produced no findings; the suite is not firing")
+	}
+	byAnalyzer := make(map[string]int)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+	}
+	for _, az := range analysis.All() {
+		if byAnalyzer[az.Name] == 0 {
+			t.Errorf("analyzer %s found nothing in the fixture corpus", az.Name)
+		}
+	}
+}
+
+// TestRepoIsClean is the self-hosting gate: the suite run over this
+// module (tests included) must report nothing. Real findings get fixed
+// or get a justified //genlint:ignore; either way this stays green.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	diags, _, err := analysis.Run(filepath.Join("..", ".."), []string{"./..."}, analysis.All(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("repo is not genlint-clean: %s", d)
+	}
+}

@@ -1,0 +1,14 @@
+package analysis
+
+// All returns the full analyzer suite in the order diagnostics should
+// credit them. New analyzers register here; cmd/genlint and the
+// self-tests both run exactly this list.
+func All() []*Analyzer {
+	return []*Analyzer{
+		LockGuard,
+		ErrSink,
+		NoClientDefault,
+		MaxBytesNil,
+		LeakyTicker,
+	}
+}

@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrSink flags discarded errors on durability-critical paths — the
+// dropped-fsync-error class (PR 8 shipped a background group-committer
+// whose Sync error went nowhere, silently acknowledging writes the disk
+// had dropped):
+//
+//   - x.Sync() / x.Flush() with the error thrown away (expression
+//     statement, `_ =`, go, or defer). These exist to move bytes toward
+//     the disk; a dropped error means acknowledged data may be gone.
+//   - x.Close() with the error thrown away, when the enclosing function
+//     also writes to x (Write/WriteString/Sync/Truncate/Flush on the
+//     same receiver): Close is the last flush for buffered writers and
+//     may carry the only report of a write-back failure. Two exemptions
+//     keep the rule honest: a *deferred* Close (`defer f.Close()` after
+//     a checked Sync is the idiomatic cleanup, and the checked Sync
+//     already surfaced the write-back error), and a function that
+//     *checks* Close on the same receiver somewhere else (the happy
+//     path is covered; the remaining discards are error-path cleanup
+//     where the write's own error is already being returned).
+//   - json.Encoder.Encode with the error thrown away inside an HTTP
+//     handler (a function with an http.ResponseWriter parameter): an
+//     Encode failure mid-response means a truncated body the server
+//     never notices; at minimum the error must be logged.
+//   - os.Rename with the error thrown away: the snapshot machinery
+//     leans on atomic renames, and a silently failed rename leaves
+//     stale durable state.
+var ErrSink = &Analyzer{
+	Name: "errsink",
+	Doc:  "discarded errors from Sync/Flush, write-path Close, handler Encode, and os.Rename",
+	Run:  runErrSink,
+}
+
+// writeish are the method names that mark a receiver as "written to in
+// this function" for the Close rule.
+var writeish = map[string]bool{
+	"Write": true, "WriteString": true, "Sync": true, "Truncate": true, "Flush": true,
+}
+
+func runErrSink(pass *Pass) {
+	for _, file := range pass.Files {
+		walkStack(file, func(n ast.Node, stack []ast.Node) {
+			call, deferred, ok := discardedCall(n)
+			if !ok {
+				return
+			}
+			checkDiscarded(pass, call, deferred, stack)
+		})
+	}
+}
+
+// discardedCall recognizes the statement shapes that throw a call's
+// result away.
+func discardedCall(n ast.Node) (call *ast.CallExpr, deferred, ok bool) {
+	switch s := n.(type) {
+	case *ast.ExprStmt:
+		if c, isCall := s.X.(*ast.CallExpr); isCall {
+			return c, false, true
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) != 1 {
+			return nil, false, false
+		}
+		c, isCall := s.Rhs[0].(*ast.CallExpr)
+		if !isCall {
+			return nil, false, false
+		}
+		for _, lhs := range s.Lhs {
+			if id, isIdent := lhs.(*ast.Ident); !isIdent || id.Name != "_" {
+				return nil, false, false
+			}
+		}
+		return c, false, true
+	case *ast.GoStmt:
+		return s.Call, false, true
+	case *ast.DeferStmt:
+		return s.Call, true, true
+	}
+	return nil, false, false
+}
+
+func checkDiscarded(pass *Pass, call *ast.CallExpr, deferred bool, stack []ast.Node) {
+	// os.Rename is a package call, handled before the method rules.
+	if pass.IsPkgCall(call, "os", "Rename") {
+		pass.Reportf(call.Pos(), "error from os.Rename is discarded; a failed rename silently leaves stale state on disk")
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if !returnsError(pass, call) {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Sync", "Flush":
+		if len(call.Args) != 0 {
+			return
+		}
+		pass.Reportf(call.Pos(), "error from %s.%s() is discarded; a dropped flush/fsync error is silent data loss — check it (and make it sticky if nobody reads the return)",
+			exprText(sel.X), sel.Sel.Name)
+	case "Close":
+		if deferred || len(call.Args) != 0 {
+			return
+		}
+		recv := exprText(sel.X)
+		if recv == "" {
+			return
+		}
+		body := enclosingFuncBody(stack)
+		if body == nil || !writesTo(body, recv) || hasCheckedClose(body, recv) {
+			return
+		}
+		pass.Reportf(call.Pos(), "error from %s.Close() is discarded but this function writes to %s; Close is the last flush and may carry the only write-back failure",
+			recv, recv)
+	case "Encode":
+		if !isJSONEncoder(pass, sel.X) {
+			return
+		}
+		if !inHTTPHandler(pass, stack) {
+			return
+		}
+		pass.Reportf(call.Pos(), "error from json.Encoder.Encode is discarded in an HTTP handler; a truncated response goes unnoticed — check it (logging is enough)")
+	}
+}
+
+// returnsError reports whether call's results include an error. When
+// type information is missing it assumes yes (the analyzers run on
+// partially checked packages).
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	if pass.Info == nil {
+		return true
+	}
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return true
+	}
+	isErr := func(t types.Type) bool {
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErr(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErr(tv.Type)
+}
+
+// isJSONEncoder reports whether e is a *encoding/json.Encoder — either
+// by type, or syntactically a json.NewEncoder(...) chain.
+func isJSONEncoder(pass *Pass, e ast.Expr) bool {
+	if pass.TypeIs(e, "encoding/json", "Encoder") {
+		return true
+	}
+	c, ok := e.(*ast.CallExpr)
+	return ok && pass.IsPkgCall(c, "encoding/json", "NewEncoder")
+}
+
+// enclosingFuncBody returns the innermost enclosing function body on
+// the stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncLit:
+			return f.Body
+		case *ast.FuncDecl:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// enclosingFuncType returns the innermost enclosing function signature.
+func enclosingFuncType(stack []ast.Node) *ast.FuncType {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncLit:
+			return f.Type
+		case *ast.FuncDecl:
+			return f.Type
+		}
+	}
+	return nil
+}
+
+// inHTTPHandler reports whether the innermost enclosing function has an
+// http.ResponseWriter parameter.
+func inHTTPHandler(pass *Pass, stack []ast.Node) bool {
+	ft := enclosingFuncType(stack)
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, p := range ft.Params.List {
+		if pass.IsPkgSelector(p.Type, "net/http", "ResponseWriter") {
+			return true
+		}
+	}
+	return false
+}
+
+// hasCheckedClose reports whether body contains a recv.Close() call
+// whose result is actually consumed (not one of the discard shapes) —
+// e.g. `if err := f.Close(); err != nil` on the happy path.
+func hasCheckedClose(body *ast.BlockStmt, recv string) bool {
+	found := false
+	walkStack(body, func(n ast.Node, stack []ast.Node) {
+		if found {
+			return
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 0 {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" || exprText(sel.X) != recv {
+			return
+		}
+		if len(stack) == 0 {
+			return
+		}
+		switch parent := stack[len(stack)-1].(type) {
+		case *ast.ExprStmt, *ast.GoStmt, *ast.DeferStmt:
+			return // discard shapes
+		case *ast.AssignStmt:
+			for _, lhs := range parent.Lhs {
+				if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+					found = true // assigned to a real variable
+					return
+				}
+			}
+			return // all-blank assign: discard
+		default:
+			found = true // if-init, return value, argument, …: consumed
+		}
+	})
+	return found
+}
+
+// writesTo reports whether body contains a write-ish method call on the
+// receiver spelled recv.
+func writesTo(body *ast.BlockStmt, recv string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !writeish[sel.Sel.Name] {
+			return true
+		}
+		if exprText(sel.X) == recv {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// exprText renders simple ident/selector chains ("" for anything more
+// complex — those receivers are not tracked).
+func exprText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprText(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprText(x.X)
+	}
+	return ""
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// LeakyTicker flags timer-channel leaks in long-lived loops:
+//
+//   - time.After inside a for/range loop: each iteration allocates a
+//     timer the runtime keeps alive until it fires, so a loop that
+//     selects on time.After(heartbeat) leaks a timer per wakeup for the
+//     life of the process. Use one time.NewTimer and Reset it.
+//   - time.NewTicker / time.NewTimer whose result is used inline
+//     (`<-time.NewTimer(d).C`) or assigned to a variable that is never
+//     Stopped — or only Stopped after a return statement that can skip
+//     it. `defer t.Stop()` right after construction is the shape that
+//     always passes.
+//
+// The replication tier's stream server and follower reconnect loops are
+// exactly the long-lived select-in-for shape this targets.
+var LeakyTicker = &Analyzer{
+	Name: "leakyticker",
+	Doc:  "no time.After in loops; NewTicker/NewTimer must be Stopped on every exit path",
+	Run:  runLeakyTicker,
+}
+
+func runLeakyTicker(pass *Pass) {
+	for _, file := range pass.Files {
+		walkStack(file, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			switch {
+			case pass.IsPkgCall(call, "time", "After"):
+				if inLoop(stack) {
+					pass.Reportf(call.Pos(), "time.After in a loop allocates a new timer every iteration that lives until it fires; hoist one time.NewTimer out of the loop and Reset it")
+				}
+			case pass.IsPkgCall(call, "time", "NewTicker"), pass.IsPkgCall(call, "time", "NewTimer"):
+				checkTimerStopped(pass, call, stack)
+			}
+		})
+	}
+}
+
+// inLoop reports whether the innermost enclosing statement context is a
+// for/range loop — i.e. a loop appears on the stack before any function
+// boundary (a FuncLit inside the loop body runs once per call, not once
+// per iteration, so it resets the search).
+func inLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// checkTimerStopped applies the lexical Stop rules to one
+// time.NewTicker/NewTimer call.
+func checkTimerStopped(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	name := "time.NewTicker"
+	if pass.IsPkgCall(call, "time", "NewTimer") {
+		name = "time.NewTimer"
+	}
+	if len(stack) == 0 {
+		return
+	}
+	parent := stack[len(stack)-1]
+
+	// Inline use — time.NewTimer(d).C — can never be stopped.
+	if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == call {
+		pass.Reportf(call.Pos(), "%s used inline is never Stopped and leaks its timer; assign it and defer Stop", name)
+		return
+	}
+
+	// Track only the simple `x := time.NewTicker(d)` shape; anything
+	// fancier (struct field, function arg, multi-assign) is someone
+	// else's lifetime to manage.
+	assign, ok := parent.(*ast.AssignStmt)
+	if !ok || len(assign.Rhs) != 1 || assign.Rhs[0] != call || len(assign.Lhs) != 1 {
+		return
+	}
+	id, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		if ok && id.Name == "_" {
+			pass.Reportf(call.Pos(), "%s assigned to _ is never Stopped and leaks its timer", name)
+		}
+		return
+	}
+	body := enclosingFuncBody(stack)
+	if body == nil {
+		return
+	}
+
+	// Collect x.Stop() calls in the function, split deferred/plain.
+	var deferredStop bool
+	var plainStops []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		var c *ast.CallExpr
+		deferred := false
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			c, deferred = s.Call, true
+		case *ast.CallExpr:
+			c = s
+		default:
+			return true
+		}
+		sel, ok := c.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Stop" {
+			return true
+		}
+		if base, ok := sel.X.(*ast.Ident); ok && base.Name == id.Name {
+			if deferred {
+				deferredStop = true
+			} else {
+				plainStops = append(plainStops, c.Pos())
+			}
+		}
+		return true
+	})
+	if deferredStop {
+		return
+	}
+	if len(plainStops) == 0 {
+		pass.Reportf(call.Pos(), "%s is never Stopped (%s.Stop() not found in this function); defer %s.Stop() right after constructing it", name, id.Name, id.Name)
+		return
+	}
+	// A plain Stop only covers paths that reach it: any return between
+	// the construction and the last Stop can skip it.
+	lastStop := plainStops[len(plainStops)-1]
+	var escape token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // returns inside a closure leave the closure, not this function
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok && ret.Pos() > call.End() && ret.Pos() < lastStop && !escape.IsValid() {
+			escape = ret.Pos()
+		}
+		return true
+	})
+	if escape.IsValid() {
+		pass.Reportf(call.Pos(), "%s has a return at %s between construction and %s.Stop() that skips the Stop; use defer %s.Stop() instead", name, pass.Fset.Position(escape), id.Name, id.Name)
+	}
+}

@@ -1,0 +1,325 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package (or external test
+// package) of the module.
+type Package struct {
+	Dir     string
+	PkgPath string
+	Name    string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	// TypeErrors collects type-check problems. They do not stop the
+	// analyzers: a package that fails to fully type-check is still
+	// analyzed with whatever Info survived (go build gates correctness;
+	// genlint must not die on e.g. an external test package referencing
+	// in-package test helpers its import cannot see).
+	TypeErrors []error
+}
+
+// loader loads module packages on demand: the module's own import paths
+// resolve to directories under the module root, everything else goes to
+// the go/importer source importer (which type-checks the standard
+// library from GOROOT source — no compiled export data needed, so the
+// whole pipeline works offline with just the toolchain).
+type loader struct {
+	fset    *token.FileSet
+	root    string // module root (dir of go.mod); "" outside a module
+	modPath string // module path from go.mod
+	std     types.ImporterFrom
+	mu      sync.Mutex
+	cache   map[string]*types.Package
+}
+
+func newLoader(root, modPath string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		root:    root,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		cache:   make(map[string]*types.Package),
+	}
+}
+
+// Import implements types.Importer over the module-or-stdlib chain.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	l.mu.Lock()
+	if pkg, ok := l.cache[path]; ok {
+		l.mu.Unlock()
+		return pkg, nil
+	}
+	l.mu.Unlock()
+	var pkg *types.Package
+	var err error
+	if l.modPath != "" && (path == l.modPath || strings.HasPrefix(path, l.modPath+"/")) {
+		dir := filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.modPath)))
+		pkg, err = l.checkDir(dir, path, false)
+	} else {
+		pkg, err = l.std.Import(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.cache[path] = pkg
+	l.mu.Unlock()
+	return pkg, nil
+}
+
+// checkDir type-checks the (non-test) package in dir for import
+// purposes: type errors are tolerated, the partial package is returned.
+func (l *loader) checkDir(dir, pkgPath string, tests bool) (*types.Package, error) {
+	files, _, err := parseDir(l.fset, dir, tests)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(error) {}, // partial packages are fine for imports
+	}
+	pkg, _ := conf.Check(pkgPath, l.fset, files, nil)
+	if pkg == nil {
+		return nil, fmt.Errorf("type-checking %s produced no package", pkgPath)
+	}
+	return pkg, nil
+}
+
+// parseDir parses dir's buildable Go files (comments included — the
+// analyzers key on them), split into the normal package's files and the
+// external (_test suffixed) test package's files. Test files are
+// skipped entirely when tests is false.
+func parseDir(fset *token.FileSet, dir string, tests bool) (normal, xtest []*ast.File, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !tests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, perr := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, nil, perr
+		}
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			xtest = append(xtest, f)
+		} else {
+			normal = append(normal, f)
+		}
+	}
+	return normal, xtest, nil
+}
+
+// findModule walks up from dir looking for go.mod; it returns the
+// module root and module path ("", "" when dir is outside any module —
+// fixture corpora load that way).
+func findModule(dir string) (root, modPath string) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", ""
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest)
+				}
+			}
+			return dir, ""
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", ""
+		}
+		dir = parent
+	}
+}
+
+// skipDir reports whether a walk should descend into name: testdata
+// (fixture corpora are deliberately buggy), vendored or hidden trees.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" || name == "node_modules" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// expandPatterns resolves command-line patterns ("./...", "./cmd/...",
+// plain directories) into the list of package directories to analyze.
+func expandPatterns(base string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+			if pat == "" || pat == "." {
+				pat = "."
+			}
+		} else if pat == "..." {
+			recursive, pat = true, "."
+		}
+		start := pat
+		if !filepath.IsAbs(start) {
+			start = filepath.Join(base, start)
+		}
+		info, err := os.Stat(start)
+		if err != nil {
+			return nil, fmt.Errorf("pattern %q: %w", pat, err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("pattern %q is not a directory", pat)
+		}
+		if !recursive {
+			add(start)
+			continue
+		}
+		err = filepath.WalkDir(start, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if path != start && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			entries, err := os.ReadDir(path)
+			if err != nil {
+				return err
+			}
+			for _, e := range entries {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasPrefix(e.Name(), ".") && !strings.HasPrefix(e.Name(), "_") {
+					add(path)
+					break
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// Load parses and type-checks the packages matched by patterns,
+// relative to base. Each directory yields its package plus, when tests
+// is set and the directory has them, its external _test package.
+func Load(base string, patterns []string, tests bool) ([]*Package, error) {
+	base, err := filepath.Abs(base)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath := findModule(base)
+	l := newLoader(root, modPath)
+	dirs, err := expandPatterns(base, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		normal, xtest, err := parseDir(l.fset, dir, tests)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", dir, err)
+		}
+		pkgPath := dir
+		if modPath != "" && root != "" {
+			if rel, rerr := filepath.Rel(root, dir); rerr == nil && !strings.HasPrefix(rel, "..") {
+				pkgPath = modPath
+				if rel != "." {
+					pkgPath = modPath + "/" + filepath.ToSlash(rel)
+				}
+			}
+		}
+		for _, group := range [][]*ast.File{normal, xtest} {
+			if len(group) == 0 {
+				continue
+			}
+			path := pkgPath
+			if group[0].Name.Name != "" && strings.HasSuffix(group[0].Name.Name, "_test") {
+				path += "_test"
+			}
+			pkg := &Package{
+				Dir:     dir,
+				PkgPath: path,
+				Name:    group[0].Name.Name,
+				Fset:    l.fset,
+				Files:   group,
+			}
+			info := &types.Info{
+				Types:      make(map[ast.Expr]types.TypeAndValue),
+				Defs:       make(map[*ast.Ident]types.Object),
+				Uses:       make(map[*ast.Ident]types.Object),
+				Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			}
+			conf := types.Config{
+				Importer:    l,
+				FakeImportC: true,
+				Error:       func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+			}
+			tpkg, _ := conf.Check(path, l.fset, group, info)
+			pkg.Types, pkg.Info = tpkg, info
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// Run is the one-call driver: load the packages matched by patterns and
+// run the analyzers. It returns the surviving diagnostics and the
+// per-package type-error counts (informational — type errors do not
+// gate the result, go build does that).
+func Run(base string, patterns []string, analyzers []*Analyzer, tests bool) ([]Diagnostic, map[string]int, error) {
+	pkgs, err := Load(base, patterns, tests)
+	if err != nil {
+		return nil, nil, err
+	}
+	typeErrs := make(map[string]int)
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			typeErrs[p.PkgPath] = len(p.TypeErrors)
+		}
+	}
+	return RunPackages(pkgs, analyzers), typeErrs, nil
+}

@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// LockGuard flags reads and writes of struct fields annotated
+// `// guarded by <mu>` from methods that never acquire that mutex.
+//
+// The annotation goes on the field declaration (doc comment or trailing
+// line comment):
+//
+//	type DurableIndex struct {
+//		mu  sync.Mutex
+//		wal *wal // guarded by mu
+//	}
+//
+// A method of the struct that mentions recv.wal must contain a
+// recv.mu.Lock() or recv.mu.RLock() call lexically before the access.
+// Methods whose name ends in "Locked" are exempt by convention: they
+// document that the caller holds the lock. Constructors and other free
+// functions are not checked (a struct under construction is unshared).
+//
+// This is the PR 8 bug class: DurableIndex.Metrics read d.wal while
+// resetToSnapshot could swap the pointer under it. The check is
+// lexical, not path-sensitive — a Lock in one branch satisfies an
+// access in another — so it catches the "never locks at all" and
+// "locks after the access" shapes, which is what this codebase has
+// actually shipped. Accesses through a local alias of the struct
+// (g := s.group; g.field) are not tracked; keep guarded state behind
+// the receiver.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated `// guarded by <mu>` must only be accessed under that mutex",
+	Run:  runLockGuard,
+}
+
+// guardedStruct maps a struct's field names to their guarding mutex
+// field names.
+type guardedStruct map[string]string
+
+func runLockGuard(pass *Pass) {
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			checkMethod(pass, fd, guarded)
+		}
+	}
+}
+
+// collectGuarded scans the package's struct declarations for
+// `guarded by <mu>` field annotations.
+func collectGuarded(pass *Pass) map[string]guardedStruct {
+	out := make(map[string]guardedStruct)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				gs := out[ts.Name.Name]
+				if gs == nil {
+					gs = make(guardedStruct)
+					out[ts.Name.Name] = gs
+				}
+				for _, name := range field.Names {
+					gs[name.Name] = mu
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardAnnotation returns the mutex name from a field's
+// `guarded by <mu>` comment, or "".
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkMethod verifies every guarded-field access in one method.
+func checkMethod(pass *Pass, fd *ast.FuncDecl, guarded map[string]guardedStruct) {
+	structName, recvName := receiverOf(fd)
+	if recvName == "" {
+		return
+	}
+	gs, ok := guarded[structName]
+	if !ok {
+		return
+	}
+	if hasSuffixLocked(fd.Name.Name) {
+		return // documented caller-holds-the-lock convention
+	}
+	// Gather recv.<mu>.Lock/RLock call positions per mutex.
+	locks := make(map[string][]token.Pos)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := inner.X.(*ast.Ident)
+		if !ok || base.Name != recvName {
+			return true
+		}
+		locks[inner.Sel.Name] = append(locks[inner.Sel.Name], call.Pos())
+		return true
+	})
+	// Flag guarded accesses with no earlier lock of their mutex.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || base.Name != recvName {
+			return true
+		}
+		mu, ok := gs[sel.Sel.Name]
+		if !ok {
+			return true
+		}
+		for _, lp := range locks[mu] {
+			if lp < sel.Pos() {
+				return true
+			}
+		}
+		pass.Reportf(sel.Pos(), "%s.%s is guarded by %q, but %s does not hold it here (no %s.%s.Lock/RLock before this access; suffix the method name with Locked if the caller holds it)",
+			recvName, sel.Sel.Name, mu, fd.Name.Name, recvName, mu)
+		return true
+	})
+}
+
+// receiverOf returns the receiver's base struct type name and the
+// receiver variable name ("" when unnamed or blank).
+func receiverOf(fd *ast.FuncDecl) (structName, recvName string) {
+	if len(fd.Recv.List) != 1 {
+		return "", ""
+	}
+	recv := fd.Recv.List[0]
+	t := recv.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Generic receivers appear as IndexExpr/IndexListExpr.
+	switch it := t.(type) {
+	case *ast.IndexExpr:
+		t = it.X
+	case *ast.IndexListExpr:
+		t = it.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	if len(recv.Names) != 1 || recv.Names[0].Name == "_" {
+		return id.Name, ""
+	}
+	return id.Name, recv.Names[0].Name
+}
+
+func hasSuffixLocked(name string) bool {
+	return len(name) >= len("Locked") && name[len(name)-len("Locked"):] == "Locked"
+}

@@ -1,0 +1,36 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// MaxBytesNil flags http.MaxBytesReader(nil, …). The first parameter
+// exists so the reader can tell the ResponseWriter to close the
+// connection on overrun; passing nil panics on that path — and worse,
+// the panic only fires when a client actually sends an oversized body,
+// so it survives every happy-path test. PR 8 fixed exactly this in
+// genlinkd's ingest handler (oversized bodies answered a connection
+// reset instead of 413).
+var MaxBytesNil = &Analyzer{
+	Name: "maxbytesnil",
+	Doc:  "http.MaxBytesReader must receive the ResponseWriter, not nil",
+	Run:  runMaxBytesNil,
+}
+
+func runMaxBytesNil(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !pass.IsPkgCall(call, "net/http", "MaxBytesReader") {
+				return true
+			}
+			if len(call.Args) != 3 {
+				return true
+			}
+			if id, ok := call.Args[0].(*ast.Ident); ok && id.Name == "nil" {
+				pass.Reportf(call.Pos(), "http.MaxBytesReader(nil, …) panics when the limit trips; pass the ResponseWriter so overruns answer 413")
+			}
+			return true
+		})
+	}
+}

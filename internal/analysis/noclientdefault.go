@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// NoClientDefault flags HTTP clients with no deadline discipline — the
+// PR 9 class (follower bootstrap fetches rode http.DefaultClient, so a
+// wedged leader could hang a bootstrap forever):
+//
+//   - any use of http.DefaultClient;
+//   - the package-level conveniences http.Get/Post/PostForm/Head
+//     (they all run on DefaultClient);
+//   - an http.Client composite literal with no Timeout field;
+//   - linkindex.NewPooledClient(0) — the project's pooled-client
+//     constructor with a literal zero timeout, which is the same thing
+//     wearing a connection pool.
+//
+// Legitimate timeout-less clients exist — the long-poll /wal/stream
+// tail must be allowed to idle, and the router bounds every leg with a
+// request context instead — but each one is an explicit, justified
+// exception: suppress it with `//genlint:ignore noclientdefault <why>`.
+var NoClientDefault = &Analyzer{
+	Name: "noclientdefault",
+	Doc:  "no http.DefaultClient, bare http.Get/Post/Head, or http.Client without a Timeout",
+	Run:  runNoClientDefault,
+}
+
+var defaultClientFuncs = []string{"Get", "Post", "PostForm", "Head"}
+
+func runNoClientDefault(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if pass.IsPkgSelector(x, "net/http", "DefaultClient") {
+					pass.Reportf(x.Pos(), "http.DefaultClient has no timeout and is shared global state; construct a client with a Timeout (or a per-request context deadline)")
+				}
+			case *ast.CallExpr:
+				for _, name := range defaultClientFuncs {
+					if pass.IsPkgCall(x, "net/http", name) {
+						pass.Reportf(x.Pos(), "http.%s runs on http.DefaultClient (no timeout); use a client with a Timeout or a request context deadline", name)
+						return true
+					}
+				}
+				if isNewPooledClientZero(pass, x) {
+					pass.Reportf(x.Pos(), "NewPooledClient(0) builds a client with no overall timeout; pass a deadline, or suppress with a reason if the request is a long poll or context-bounded")
+				}
+			case *ast.CompositeLit:
+				if !isHTTPClientType(pass, x.Type) {
+					return true
+				}
+				for _, elt := range x.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Timeout" {
+							return true
+						}
+					}
+				}
+				pass.Reportf(x.Pos(), "http.Client literal without a Timeout; an unresponsive peer blocks this client forever (set Timeout, or suppress with a reason if every request carries a context deadline)")
+			}
+			return true
+		})
+	}
+}
+
+// isHTTPClientType reports whether t names net/http.Client.
+func isHTTPClientType(pass *Pass, t ast.Expr) bool {
+	if t == nil {
+		return false
+	}
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	return pass.IsPkgSelector(t, "net/http", "Client")
+}
+
+// isNewPooledClientZero matches <pkg.>NewPooledClient(0) with a literal
+// zero argument. The match is by name, not import path: the constructor
+// lives in internal/linkindex but is called both package-local and
+// qualified.
+func isNewPooledClientZero(pass *Pass, call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	}
+	if name != "NewPooledClient" || len(call.Args) != 1 {
+		return false
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}

@@ -1,0 +1,88 @@
+// Package fixture exercises the errsink analyzer: discarded Sync/Flush,
+// write-path Close, handler Encode, os.Rename, and the exemptions.
+package fixture
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"os"
+)
+
+// syncDropped throws the fsync result away.
+func syncDropped(f *os.File) {
+	_ = f.Sync() // want `error from f\.Sync\(\) is discarded`
+}
+
+// syncDeferred defers the Sync, which still discards the error.
+func syncDeferred(f *os.File) {
+	defer f.Sync() // want `error from f\.Sync\(\) is discarded`
+}
+
+// flushDropped throws a buffered writer's Flush away.
+func flushDropped(w *bufio.Writer) {
+	w.Flush() // want `error from w\.Flush\(\) is discarded`
+}
+
+// syncChecked returns the error: clean.
+func syncChecked(f *os.File) error {
+	return f.Sync()
+}
+
+// closeOnWritePath writes and then drops Close — for a buffered writer
+// Close is the last flush.
+func closeOnWritePath(f *os.File) {
+	f.Write([]byte("x"))
+	f.Close() // want `error from f\.Close\(\) is discarded but this function writes to f`
+}
+
+// closeDeferred is the idiomatic cleanup shape: clean.
+func closeDeferred(f *os.File) error {
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// closeReadPath never writes, so a discarded Close is fine.
+func closeReadPath(f *os.File) {
+	buf := make([]byte, 4)
+	f.Read(buf)
+	f.Close()
+}
+
+// closeCheckedElsewhere checks Close on the happy path; the discard in
+// the error branch is best-effort cleanup: clean.
+func closeCheckedElsewhere(f *os.File) error {
+	if _, err := f.Write([]byte("x")); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// encodeInHandler drops an Encode error mid-response.
+func encodeInHandler(w http.ResponseWriter, r *http.Request) {
+	_ = json.NewEncoder(w).Encode(map[string]int{"a": 1}) // want `json\.Encoder\.Encode is discarded in an HTTP handler`
+}
+
+// encodeNotHandler has no ResponseWriter in scope: clean.
+func encodeNotHandler(f *os.File) {
+	_ = json.NewEncoder(f).Encode(1)
+}
+
+// renameDropped loses a failed atomic swap.
+func renameDropped(a, b string) {
+	_ = os.Rename(a, b) // want `error from os\.Rename is discarded`
+}
+
+// renameChecked returns it: clean.
+func renameChecked(a, b string) error {
+	return os.Rename(a, b)
+}
+
+// suppressed documents why the discard is tolerable.
+func suppressed(f *os.File) {
+	_ = f.Sync() //genlint:ignore errsink fixture demonstrates an inline suppression
+}

@@ -1,0 +1,22 @@
+// Package fixture exercises the //genlint:ignore directive parser:
+// missing analyzer, missing justification, unknown analyzer name, and a
+// valid suppression. The assertions live in TestIgnoreDirectives (this
+// file has no // want comments because a directive and a want cannot
+// share a line).
+package fixture
+
+import "net/http"
+
+//genlint:ignore
+var a = http.DefaultClient
+
+//genlint:ignore noclientdefault
+var b = http.DefaultClient
+
+//genlint:ignore nosuchanalyzer because reasons
+var c = http.DefaultClient
+
+//genlint:ignore noclientdefault fixture exercises a valid suppression
+var d = http.DefaultClient
+
+var _ = []*http.Client{a, b, c, d}

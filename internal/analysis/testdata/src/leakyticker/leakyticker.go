@@ -1,0 +1,90 @@
+// Package fixture exercises the leakyticker analyzer: time.After in
+// loops, unstopped and skippably-stopped tickers/timers, and the
+// reusable-timer shape that passes.
+package fixture
+
+import "time"
+
+// afterInLoop leaks one timer per wakeup for the life of the loop.
+func afterInLoop(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(time.Second): // want `time\.After in a loop`
+		}
+	}
+}
+
+// afterOnce fires a single timer: clean.
+func afterOnce(d time.Duration) {
+	<-time.After(d)
+}
+
+// timerReused is the hoisted-timer shape the loop rule asks for: clean.
+func timerReused(stop chan struct{}) {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			t.Reset(time.Second)
+		}
+	}
+}
+
+// neverStopped constructs a ticker nobody stops.
+func neverStopped(d time.Duration) {
+	t := time.NewTicker(d) // want `time\.NewTicker is never Stopped`
+	<-t.C
+}
+
+// inlineTimer can never be stopped at all.
+func inlineTimer(d time.Duration) {
+	<-time.NewTimer(d).C // want `time\.NewTimer used inline is never Stopped`
+}
+
+// stopSkippable has a return between construction and the Stop.
+func stopSkippable(d time.Duration, early bool) {
+	t := time.NewTicker(d) // want `time\.NewTicker has a return at .* that skips the Stop`
+	if early {
+		return
+	}
+	<-t.C
+	t.Stop()
+}
+
+// stopDeferred is the always-safe shape: clean.
+func stopDeferred(d time.Duration, early bool) {
+	t := time.NewTicker(d)
+	defer t.Stop()
+	if early {
+		return
+	}
+	<-t.C
+}
+
+// suppressedAfter documents why the per-iteration timer is tolerable.
+func suppressedAfter(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		//genlint:ignore leakyticker fixture: loop runs at most twice in tests
+		case <-time.After(time.Minute):
+		}
+	}
+}
+
+var (
+	_ = afterInLoop
+	_ = afterOnce
+	_ = timerReused
+	_ = neverStopped
+	_ = inlineTimer
+	_ = stopSkippable
+	_ = stopDeferred
+	_ = suppressedAfter
+)

@@ -1,0 +1,57 @@
+// Package fixture exercises the lockguard analyzer: true positives,
+// the Locked-suffix convention, suppressions, and clean controls.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	m  int // guarded by mu
+	ok bool
+}
+
+// Good locks before reading: clean.
+func (c *counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Bad never locks at all.
+func (c *counter) Bad() int {
+	return c.n // want `c\.n is guarded by "mu"`
+}
+
+// BadThenLock locks, but only after the first access.
+func (c *counter) BadThenLock() {
+	c.n++ // want `c\.n is guarded by "mu"`
+	c.mu.Lock()
+	c.m++
+	c.mu.Unlock()
+}
+
+// bumpLocked documents via its name that the caller holds c.mu: clean.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+// Unguarded touches only an unannotated field: clean.
+func (c *counter) Unguarded() bool { return c.ok }
+
+// Suppressed documents why the unlocked read is tolerable.
+func (c *counter) Suppressed() int {
+	//genlint:ignore lockguard metrics sampling; a torn read is acceptable here
+	return c.m
+}
+
+// newCounter is a free function: structs under construction are
+// unshared, so constructors are exempt.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+var _ = newCounter
+var _ = (*counter)(nil).bumpLocked

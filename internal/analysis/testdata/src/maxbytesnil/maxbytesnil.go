@@ -1,0 +1,29 @@
+// Package fixture exercises the maxbytesnil analyzer.
+package fixture
+
+import (
+	"io"
+	"net/http"
+)
+
+// bad panics with a connection reset when the limit trips.
+func bad(r *http.Request) io.ReadCloser {
+	return http.MaxBytesReader(nil, r.Body, 1<<20) // want `http\.MaxBytesReader\(nil`
+}
+
+// good lets overruns answer 413: clean.
+func good(w http.ResponseWriter, r *http.Request) io.ReadCloser {
+	return http.MaxBytesReader(w, r.Body, 1<<20)
+}
+
+// suppressed documents a deliberate nil.
+func suppressed(r *http.Request) io.ReadCloser {
+	//genlint:ignore maxbytesnil body comes from a trusted local pipe with no ResponseWriter in scope
+	return http.MaxBytesReader(nil, r.Body, 1<<20)
+}
+
+var (
+	_ = bad
+	_ = good
+	_ = suppressed
+)

@@ -1,0 +1,60 @@
+// Package fixture exercises the noclientdefault analyzer:
+// http.DefaultClient, bare package-level requests, Timeout-less client
+// literals, NewPooledClient(0), and the suppression escape hatch.
+package fixture
+
+import (
+	"net/http"
+	"time"
+)
+
+var defaultUse = http.DefaultClient // want `http\.DefaultClient has no timeout`
+
+// bareGet rides the default client.
+func bareGet(url string) {
+	resp, err := http.Get(url) // want `http\.Get runs on http\.DefaultClient`
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// noTimeout builds a client that can hang forever.
+func noTimeout() *http.Client {
+	return &http.Client{} // want `http\.Client literal without a Timeout`
+}
+
+// withTimeout is the shape we want everywhere: clean.
+func withTimeout() *http.Client {
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+// NewPooledClient stands in for the project's pooled-client
+// constructor (the analyzer matches by name).
+func NewPooledClient(timeout time.Duration) *http.Client {
+	return &http.Client{Timeout: timeout}
+}
+
+// pooledZero is the timeout-less pooled client.
+func pooledZero() *http.Client {
+	return NewPooledClient(0) // want `NewPooledClient\(0\) builds a client with no overall timeout`
+}
+
+// pooledReal passes a deadline: clean.
+func pooledReal() *http.Client {
+	return NewPooledClient(2 * time.Second)
+}
+
+// longPoll is the designated exception, with its justification.
+func longPoll() *http.Client {
+	//genlint:ignore noclientdefault long-poll stream client; reads are bounded by the server heartbeat
+	return &http.Client{Transport: http.DefaultTransport}
+}
+
+var (
+	_ = bareGet
+	_ = noTimeout
+	_ = withTimeout
+	_ = pooledZero
+	_ = pooledReal
+	_ = longPoll
+)

@@ -44,7 +44,7 @@ var errBackfillClosed = errors.New("linkindex: backfill session closed")
 type Backfill struct {
 	d      *DurableIndex
 	mu     sync.Mutex
-	closed bool
+	closed bool // guarded by mu
 	loaded atomic.Int64
 }
 

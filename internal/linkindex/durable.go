@@ -44,11 +44,11 @@ import (
 type DurableIndex struct {
 	dir  string
 	ix   *ShardedIndex
-	wal  *wal
+	wal  *wal // guarded by mu (resetToSnapshot swaps the pointer; read via walRef)
 	opts DurableOptions
 
 	mu     sync.Mutex // serializes mutations: wal append + index apply
-	closed bool
+	closed bool       // guarded by mu
 
 	recordsSinceSnap atomic.Int64
 	lastSnapSeq      atomic.Uint64

@@ -182,6 +182,7 @@ func replError(w http.ResponseWriter, code int, msg string, extra map[string]any
 	for k, v := range extra {
 		body[k] = v
 	}
+	//genlint:ignore errsink best-effort error body; the status code is already committed and the client may be gone
 	_ = json.NewEncoder(w).Encode(body)
 }
 
@@ -243,6 +244,11 @@ func (d *DurableIndex) ServeWALStream(w http.ResponseWriter, r *http.Request) {
 		return writeStreamFrame(w, replHeartbeatSeq, hb)
 	}
 	ctx := r.Context()
+	// One reusable heartbeat timer for the life of the stream: time.After
+	// in this loop would allocate a timer per wakeup that lives until it
+	// fires.
+	hbTimer := time.NewTimer(replHeartbeatInterval)
+	defer hbTimer.Stop()
 	for {
 		wl := d.walRef()
 		// Order matters: snapshot (gate, notify) first, then drain the
@@ -271,12 +277,14 @@ func (d *DurableIndex) ServeWALStream(w http.ResponseWriter, r *http.Request) {
 		if err := heartbeat(gate); err != nil {
 			return
 		}
+		//genlint:ignore errsink stream flush to a live ResponseWriter; a broken connection surfaces on the next writeStreamFrame
 		_ = rc.Flush()
+		hbTimer.Reset(replHeartbeatInterval)
 		select {
 		case <-ctx.Done():
 			return
 		case <-notify:
-		case <-time.After(replHeartbeatInterval):
+		case <-hbTimer.C:
 		}
 	}
 }
@@ -531,7 +539,7 @@ type Follower struct {
 	startedAt  time.Time
 
 	errMu   sync.Mutex
-	lastErr string
+	lastErr string // guarded by errMu
 }
 
 // OpenFollower starts a follower of opts.Leader rooted at opts.Dir. With
@@ -556,7 +564,7 @@ func OpenFollower(opts FollowerOptions) (*Follower, error) {
 		// no overall timeout (long poll), the snapshot client bounds each
 		// bootstrap fetch end to end.
 		tr := PooledTransport()
-		f.client = &http.Client{Transport: tr}
+		f.client = &http.Client{Transport: tr} //genlint:ignore noclientdefault the long-poll stream client must idle between frames; the server heartbeat bounds silence
 		f.snapClient = &http.Client{Transport: tr, Timeout: replSnapshotTimeout}
 	} else {
 		// A caller-supplied client is used as-is for both paths; its
@@ -624,16 +632,21 @@ func fetchLeaderSnapshot(ctx context.Context, c *http.Client, leader string) (ui
 // run reconnects the tail until the follower is stopped or promoted.
 func (f *Follower) run(ctx context.Context) {
 	defer close(f.done)
+	// One reusable timer across reconnects: time.After in this loop
+	// would allocate a timer per attempt that lives until it fires.
+	delay := time.NewTimer(f.opts.ReconnectDelay)
+	defer delay.Stop()
 	for ctx.Err() == nil {
 		err := f.tailOnce(ctx)
 		if err != nil && ctx.Err() == nil {
 			f.setErr(err)
 			f.opts.Durable.logf("replication: tail: %v", err)
 		}
+		delay.Reset(f.opts.ReconnectDelay)
 		select {
 		case <-ctx.Done():
 			return
-		case <-time.After(f.opts.ReconnectDelay):
+		case <-delay.C:
 		}
 	}
 }

@@ -134,16 +134,16 @@ type wal struct {
 	opts walOptions
 
 	mu      sync.Mutex
-	f       walFile
-	w       *bufio.Writer
-	size    int64 // bytes written to the active segment
-	seq     uint64
-	closed  bool
-	syncErr error // first flush/fsync failure; poisons the log
+	f       walFile       // guarded by mu
+	w       *bufio.Writer // guarded by mu
+	size    int64         // guarded by mu; bytes written to the active segment
+	seq     uint64        // guarded by mu
+	closed  bool          // guarded by mu
+	syncErr error         // guarded by mu; first flush/fsync failure poisons the log
 	// notify is closed and replaced on every successful append, so
 	// long-poll readers (the replication stream) can wait for new records
 	// without spinning.
-	notify chan struct{}
+	notify chan struct{} // guarded by mu
 
 	stop chan struct{}
 	done chan struct{}
@@ -173,7 +173,7 @@ func syncDir(dir string) error {
 // segment's name holds nothing worth keeping and is truncated.
 func openWAL(dir string, lastSeq uint64, opts walOptions) (*wal, error) {
 	w := &wal{dir: dir, opts: opts.withDefaults(), seq: lastSeq, notify: make(chan struct{})}
-	if err := w.openSegment(lastSeq + 1); err != nil {
+	if err := w.openSegmentLocked(lastSeq + 1); err != nil {
 		return nil, err
 	}
 	if w.opts.Fsync == FsyncIntervalPolicy {
@@ -184,9 +184,9 @@ func openWAL(dir string, lastSeq uint64, opts walOptions) (*wal, error) {
 	return w, nil
 }
 
-// openSegment starts the active segment for records from firstSeq on.
-// Callers hold mu (or have exclusive access during open).
-func (w *wal) openSegment(firstSeq uint64) error {
+// openSegmentLocked starts the active segment for records from firstSeq
+// on. Callers hold mu (or have exclusive access during open).
+func (w *wal) openSegmentLocked(firstSeq uint64) error {
 	path := filepath.Join(w.dir, segName(firstSeq))
 	open := w.opts.OpenFile
 	if open == nil {
@@ -301,19 +301,19 @@ func (w *wal) Append(payload []byte) (uint64, error) {
 // for the background group-committer, whose return value nobody reads.)
 func (w *wal) flushLocked(sync bool) error {
 	if err := w.w.Flush(); err != nil {
-		return w.poison(err)
+		return w.poisonLocked(err)
 	}
 	if sync && w.opts.Fsync != FsyncOff {
 		if err := w.f.Sync(); err != nil {
-			return w.poison(err)
+			return w.poisonLocked(err)
 		}
 	}
 	return nil
 }
 
-// poison records err as the wal's sticky failure (first one wins) and
-// returns the wrapped form. Callers hold mu.
-func (w *wal) poison(err error) error {
+// poisonLocked records err as the wal's sticky failure (first one wins)
+// and returns the wrapped form. Callers hold mu.
+func (w *wal) poisonLocked(err error) error {
 	wrapped := fmt.Errorf("linkindex: wal: %w", err)
 	if w.syncErr == nil {
 		w.syncErr = wrapped
@@ -329,7 +329,7 @@ func (w *wal) rotateLocked() error {
 	if err := w.f.Close(); err != nil {
 		return fmt.Errorf("linkindex: wal: %w", err)
 	}
-	return w.openSegment(w.seq + 1)
+	return w.openSegmentLocked(w.seq + 1)
 }
 
 // RotateIfDirty starts a fresh segment when the active one holds any
@@ -355,10 +355,10 @@ func (w *wal) Sync() error {
 		return errWALClosed
 	}
 	if err := w.w.Flush(); err != nil {
-		return w.poison(err)
+		return w.poisonLocked(err)
 	}
 	if err := w.f.Sync(); err != nil {
-		return w.poison(err)
+		return w.poisonLocked(err)
 	}
 	return nil
 }
@@ -374,7 +374,7 @@ func (w *wal) Flush() error {
 		return errWALClosed
 	}
 	if err := w.w.Flush(); err != nil {
-		return w.poison(err)
+		return w.poisonLocked(err)
 	}
 	return nil
 }

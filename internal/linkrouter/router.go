@@ -102,9 +102,9 @@ type nodeState struct {
 type group struct {
 	mu     sync.Mutex
 	nodes  []string
-	state  map[string]nodeState
-	leader string
-	rr     uint32 // round-robin cursor over eligible replicas
+	state  map[string]nodeState // guarded by mu
+	leader string               // guarded by mu
+	rr     uint32               // guarded by mu; round-robin cursor over eligible replicas
 }
 
 // setLeader records addr as the group's leader guess and reports whether
@@ -308,7 +308,10 @@ func New(opts Options) (*Router, error) {
 		done:   make(chan struct{}),
 	}
 	if rt.client == nil {
-		rt.client = linkindex.NewPooledClient(0)
+		// Every leg the router sends carries a per-request context
+		// deadline (proxy timeout, hedge timeout, poll timeout), so the
+		// client itself stays unbounded rather than double-clamping.
+		rt.client = linkindex.NewPooledClient(0) //genlint:ignore noclientdefault every request carries a context deadline; a client Timeout would double-clamp hedged legs
 	}
 	for gi, addrs := range opts.Groups {
 		if len(addrs) == 0 {

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Sanity gate over scripts/*.sh, run by CI alongside genlint: every
+# script must parse (bash -n), be executable, and fail fast with
+# `set -euo pipefail` — a smoke script that shrugs off a failed curl or
+# a dead pipeline reports green on a broken service, which is worse
+# than no smoke test at all.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+for f in scripts/*.sh; do
+  if ! bash -n "$f"; then
+    echo "$f: syntax error" >&2
+    fail=1
+  fi
+  if ! grep -qE '^set -euo pipefail' "$f"; then
+    echo "$f: missing 'set -euo pipefail' (scripts must fail fast)" >&2
+    fail=1
+  fi
+  if [ ! -x "$f" ]; then
+    echo "$f: not executable (chmod +x)" >&2
+    fail=1
+  fi
+done
+exit "$fail"
